@@ -1,0 +1,65 @@
+// Where the time goes: phase breakdown of the slowest node for the paper's
+// three execution modes on the Table I workload. This is the quantitative
+// version of the paper's §III-A discussion ("the CPU, besides computation,
+// also has to run all preprocess and postprocess tasks... the dispatcher
+// thread has to rearrange and batch data for the GPU").
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mh;
+using namespace mh::bench;
+
+void add_mode(TextTable& t, const char* label, const cluster::Workload& w,
+              cluster::ClusterConfig cfg) {
+  const auto loads = cluster::even_map(w.tasks, cfg.nodes);
+  const auto result = cluster::run_cluster_apply(w, loads, cfg);
+  if (!result.feasible) {
+    t.add_row({label, "-", "-", "-", "-", "-", "-", "-"});
+    return;
+  }
+  const auto& b = result.slowest_breakdown;
+  t.add_row({label, fmt(result.makespan.sec()), fmt(b.cpu_compute.sec()),
+             fmt(b.host_data.sec()), fmt(b.dispatch.sec()),
+             fmt(b.transfers.sec(), 2), fmt(b.gpu_kernels.sec()),
+             fmt(b.comm.sec(), 2)});
+}
+
+int run() {
+  const cluster::Workload w = apps::table1_workload();
+  print_header(
+      "Phase breakdown — Coulomb d=3, k=10 (Table I workload), 1 node; "
+      "all columns in seconds of slowest-node wall time");
+
+  TextTable t({"mode", "makespan", "CPU compute", "pre/post", "dispatch",
+               "PCIe", "GPU kernels", "comm"});
+  auto base = apps::titan_config();
+  base.nodes = 1;
+
+  auto cpu = base;
+  cpu.mode = cluster::ComputeMode::kCpuOnly;
+  add_mode(t, "CPU-only (16 thr)", w, cpu);
+
+  auto gpu = base;
+  gpu.mode = cluster::ComputeMode::kGpuOnly;
+  gpu.node.gpu_streams = 5;
+  add_mode(t, "GPU-only (5 streams)", w, gpu);
+
+  auto hyb = base;
+  hyb.mode = cluster::ComputeMode::kHybrid;
+  hyb.cpu_compute_threads = 10;
+  hyb.node.gpu_streams = 5;
+  add_mode(t, "hybrid (10 thr + 5 str)", w, hyb);
+
+  t.print(std::cout);
+  print_footnote(
+      "note: phases are summed per batch; CPU compute and the GPU chain "
+      "overlap inside a hybrid batch, so rows can exceed the makespan.");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

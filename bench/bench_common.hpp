@@ -1,0 +1,40 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "apps/paper_workloads.hpp"
+#include "clustersim/cluster.hpp"
+#include "clustersim/process_map.hpp"
+#include "common/table.hpp"
+
+namespace mh::bench {
+
+inline std::string fmt(double v, int prec = 1) {
+  return v < 0.0 ? std::string{"-"} : TextTable::num(v, prec);
+}
+
+/// Run one cluster configuration and return the makespan in seconds, or a
+/// negative value when infeasible (printed as a note).
+inline double run_seconds(const cluster::Workload& w,
+                          const cluster::NodeLoads& loads,
+                          const cluster::ClusterConfig& cfg,
+                          std::string* note = nullptr) {
+  const auto result = cluster::run_cluster_apply(w, loads, cfg);
+  if (!result.feasible) {
+    if (note != nullptr) *note = result.note;
+    return -1.0;
+  }
+  return result.makespan.sec();
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline void print_footnote(const std::string& text) {
+  std::cout << text << "\n";
+}
+
+}  // namespace mh::bench

@@ -1,0 +1,105 @@
+// Real wall-clock microbenchmarks (google-benchmark) of the host-side
+// compute kernels: the mTxm GEMM pattern, the mode-wise tensor transform of
+// Formula 1, and a full Apply compute task. These measure THIS machine, not
+// the simulated Titan node; they validate that the kernels behave sanely
+// (e.g. flops scale as expected) and give the repository an honest native
+// baseline.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpusim/kernels.hpp"
+#include "linalg/gemm.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/transform.hpp"
+
+namespace {
+
+using namespace mh;
+
+void BM_mTxm(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t rows = k * k;  // the (k^2, k) x (k, k) pattern
+  Rng rng(1);
+  std::vector<double> a(k * rows), b(k * k), c(rows * k, 0.0);
+  for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+  for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    linalg::mTxm(rows, k, k, c.data(), a.data(), b.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * linalg::gemm_flops(rows, k, k) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_mTxm)->Arg(10)->Arg(14)->Arg(20)->Arg(28);
+
+void BM_Transform3d(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Tensor t = Tensor::cube(3, k);
+  for (auto& x : t.flat()) x = rng.uniform(-1.0, 1.0);
+  std::vector<double> c(k * k);
+  for (auto& x : c) x = rng.uniform(-1.0, 1.0);
+  const MatrixView cv(c.data(), k, k);
+  for (auto _ : state) {
+    Tensor r = transform(t, cv);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * transform_flops(3, k) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Transform3d)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_Transform4d(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Tensor t = Tensor::cube(4, k);
+  for (auto& x : t.flat()) x = rng.uniform(-1.0, 1.0);
+  std::vector<double> c(k * k);
+  for (auto& x : c) x = rng.uniform(-1.0, 1.0);
+  const MatrixView cv(c.data(), k, k);
+  for (auto _ : state) {
+    Tensor r = transform(t, cv);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * transform_flops(4, k) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Transform4d)->Arg(10)->Arg(14);
+
+void BM_FusedComputeTask(benchmark::State& state) {
+  // One Apply compute task at reduced rank count (M = 16) so a single
+  // iteration stays in the microsecond range on a laptop.
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 3, terms = 16;
+  Rng rng(4);
+  Tensor source = Tensor::cube(d, k);
+  for (auto& x : source.flat()) x = rng.uniform(-1.0, 1.0);
+  std::vector<std::vector<double>> mats(terms * d,
+                                        std::vector<double>(k * k));
+  std::vector<MatrixView> views;
+  for (auto& m : mats) {
+    for (auto& x : m) x = rng.uniform(-1.0, 1.0);
+    views.emplace_back(m.data(), k, k);
+  }
+  std::vector<double> coeffs(terms, 1.0);
+  for (auto _ : state) {
+    Tensor r = gpu::custom_fused_compute(source, views, coeffs);
+    benchmark::DoNotOptimize(r.data());
+  }
+  const gpu::ApplyTaskShape shape{d, k, terms};
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * shape.flops() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FusedComputeTask)->Arg(10)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

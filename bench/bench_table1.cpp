@@ -1,0 +1,87 @@
+// Reproduces Table I: CPU thread scale-up vs GPU stream scale-up vs hybrid
+// for Coulomb with d=3, k=10, precision 1e-8 (no rank reduction), on a
+// single Titan node. Batches of 60 independent compute tasks.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "runtime/dispatch.hpp"
+
+namespace {
+
+using namespace mh;
+using namespace mh::bench;
+
+int run() {
+  const cluster::Workload w = apps::table1_workload();
+  cluster::ClusterConfig base = apps::titan_config();
+  base.nodes = 1;
+  const cluster::NodeLoads loads{w.tasks};
+
+  print_header(
+      "Table I — Coulomb d=3, k=10, precision 1e-8 (no rank reduction), "
+      "1 Titan node");
+  std::cout << "workload: " << w.name << ", " << w.tasks
+            << " compute tasks in batches of " << base.batch_size << "\n\n";
+
+  // --- CPU-only thread scale-up.
+  {
+    TextTable t({"CPU threads", "measured (s)", "paper (s)"});
+    const int threads[] = {1, 2, 4, 6, 8, 10, 12, 14, 16};
+    const double paper[] = {132.5, 66.5, 45.7, 35.6, 28.5,
+                            24.3,  22.8, 18.5, 19.9};
+    for (std::size_t i = 0; i < std::size(threads); ++i) {
+      auto cfg = base;
+      cfg.mode = cluster::ComputeMode::kCpuOnly;
+      cfg.cpu_compute_threads = static_cast<std::size_t>(threads[i]);
+      t.add_row({std::to_string(threads[i]),
+                 fmt(run_seconds(w, loads, cfg)), fmt(paper[i])});
+    }
+    t.print(std::cout);
+  }
+
+  // --- GPU-only stream scale-up (custom kernels; 12 data threads).
+  {
+    TextTable t({"GPU streams", "measured (s)", "paper (s)"});
+    const int streams[] = {1, 2, 3, 4, 5, 6};
+    const double paper[] = {71.3, 41.5, 31.5, 26.4, 24.3, 24.7};
+    for (std::size_t i = 0; i < std::size(streams); ++i) {
+      auto cfg = base;
+      cfg.mode = cluster::ComputeMode::kGpuOnly;
+      cfg.node.gpu_streams = static_cast<std::size_t>(streams[i]);
+      t.add_row({std::to_string(streams[i]),
+                 fmt(run_seconds(w, loads, cfg)), fmt(paper[i])});
+    }
+    t.print(std::cout);
+  }
+
+  // --- Hybrid: 10 CPU threads + 5 CUDA streams, plus the optimal-overlap
+  // prediction from the measured CPU-only(10) and GPU-only(5) times.
+  {
+    auto cpu_cfg = base;
+    cpu_cfg.mode = cluster::ComputeMode::kCpuOnly;
+    cpu_cfg.cpu_compute_threads = 10;
+    const double m = run_seconds(w, loads, cpu_cfg);
+
+    auto gpu_cfg = base;
+    gpu_cfg.mode = cluster::ComputeMode::kGpuOnly;
+    gpu_cfg.node.gpu_streams = 5;
+    const double n = run_seconds(w, loads, gpu_cfg);
+
+    auto hyb_cfg = base;
+    hyb_cfg.mode = cluster::ComputeMode::kHybrid;
+    hyb_cfg.cpu_compute_threads = 10;
+    hyb_cfg.node.gpu_streams = 5;
+    const double actual = run_seconds(w, loads, hyb_cfg);
+    const double optimal = rt::optimal_overlap_time(m, n);
+
+    TextTable t({"CPU+GPU (10 thr, 5 streams)", "measured (s)", "paper (s)"});
+    t.add_row({"actual", fmt(actual), fmt(14.4)});
+    t.add_row({"optimal CPU-GPU overlap", fmt(optimal), fmt(12.1)});
+    t.print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

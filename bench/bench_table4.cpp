@@ -1,0 +1,61 @@
+// Reproduces Table IV: 3-D Coulomb (k=10, precision 1e-11; 154,468 tasks)
+// with custom CUDA kernels vs cuBLAS 4.1, 16-100 nodes, even distribution.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mh;
+using namespace mh::bench;
+
+int run() {
+  const cluster::Workload w = apps::table4_workload();
+
+  print_header(
+      "Table IV — Coulomb d=3, k=10, precision 1e-11; GPU-only compute, "
+      "even work distribution");
+  std::cout << "workload: " << w.name << ", " << w.tasks
+            << " compute tasks (count from the paper)\n\n";
+
+  const std::size_t nodes[] = {16, 32, 64, 100};
+  const double paper_custom[] = {27.6, 15.0, 10.2, 7.6};
+  const double paper_cublas[] = {43.2, 24.2, 15.6, 11.0};
+
+  TextTable t({"nodes", "custom (s)", "cuBLAS (s)", "ratio", "paper custom",
+               "paper cuBLAS", "paper ratio"});
+  for (std::size_t i = 0; i < std::size(nodes); ++i) {
+    auto cfg = apps::titan_config();
+    cfg.nodes = nodes[i];
+    cfg.mode = cluster::ComputeMode::kGpuOnly;
+    const auto loads = cluster::even_map(w.tasks, nodes[i]);
+
+    cfg.gpu.use_custom_kernel = true;
+    const double custom = run_seconds(w, loads, cfg);
+    cfg.gpu.use_custom_kernel = false;
+    const double cublas = run_seconds(w, loads, cfg);
+
+    t.add_row({std::to_string(nodes[i]), fmt(custom), fmt(cublas),
+               custom > 0 ? fmt(cublas / custom, 2) : "-",
+               fmt(paper_custom[i]), fmt(paper_cublas[i]),
+               fmt(paper_cublas[i] / paper_custom[i], 2)});
+  }
+  t.print(std::cout);
+
+  {
+    auto cfg = apps::titan_config();
+    cfg.nodes = 8;
+    cfg.mode = cluster::ComputeMode::kGpuOnly;
+    std::string note;
+    const double eight =
+        run_seconds(w, cluster::even_map(w.tasks, 8), cfg, &note);
+    print_footnote(eight < 0.0
+                       ? "8 nodes: infeasible — " + note + " (paper: same)"
+                       : "8 nodes unexpectedly feasible: model drift!");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

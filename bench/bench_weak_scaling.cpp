@@ -1,0 +1,59 @@
+// Extension experiment (not in the paper): weak scaling of the simulated
+// cluster — fixed work per node while the partition grows. Under the even
+// process map the makespan should stay flat (MADNESS's communication adds
+// only a small per-node term); under the locality map the power-law subtree
+// distribution erodes it. This isolates the load-imbalance mechanism the
+// paper holds responsible for its sublinear strong scaling.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mh;
+using namespace mh::bench;
+
+int run() {
+  print_header(
+      "Weak scaling (extension) — Coulomb d=3, k=10 hybrid, 1,200 tasks "
+      "per node");
+  const std::size_t per_node = 1200;
+
+  TextTable t({"nodes", "even map (s)", "locality map (s)", "imbalance",
+               "LPT map (s)", "LPT imbalance"});
+  for (std::size_t nodes : {1u, 4u, 16u, 64u, 256u}) {
+    const std::size_t tasks = per_node * nodes;
+    cluster::Workload w = cluster::make_workload(
+        "weak", gpu::ApplyTaskShape{3, 10, 100}, tasks,
+        std::max<std::size_t>(8, nodes * 4), 1.2, 4242);
+
+    auto cfg = apps::titan_config();
+    cfg.nodes = nodes;
+    cfg.mode = cluster::ComputeMode::kHybrid;
+    cfg.cpu_compute_threads = 15;
+
+    const double even = run_seconds(w, cluster::even_map(tasks, nodes), cfg);
+    const auto local_loads = cluster::locality_map(w.group_sizes, nodes, 17);
+    const double local = run_seconds(w, local_loads, cfg);
+    const auto lpt_loads = cluster::lpt_map(w.group_sizes, nodes);
+    const double lpt = run_seconds(w, lpt_loads, cfg);
+
+    t.add_row({std::to_string(nodes), fmt(even, 2), fmt(local, 2),
+               fmt(cluster::imbalance(local_loads), 2) + "x", fmt(lpt, 2),
+               fmt(cluster::imbalance(lpt_loads), 2) + "x"});
+  }
+  t.print(std::cout);
+  print_footnote(
+      "flat even-map rows = the machine scales; rising locality rows = the\n"
+      "hashed subtree map, not the hardware, limits the paper's strong\n"
+      "scaling. The LPT columns (this library's extension: subtrees placed\n"
+      "largest-first onto the least-loaded node) recover balance while any\n"
+      "assignment can — but once a single subtree outweighs the ideal\n"
+      "per-node load (64+ nodes here) NO static whole-subtree map helps:\n"
+      "the paper's 'larger applications would scale beyond' in mechanism.");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,64 @@
+// A toy version of the paper's largest experiment: the 4-D time-dependent
+// Schrodinger equation (Table VI). One propagation step of the free-particle
+// TDSE under the Trotter splitting is a convolution with a Gaussian-like
+// propagator; here a wave packet on [0,1]^4 is smeared by a small-width
+// Gaussian kernel — the same separated Formula 1 machinery, at d = 4, where
+// every task multiplies (k^3, k) x (k, k) matrices (Figure 6's shape).
+#include <cmath>
+#include <cstdio>
+
+#include "apps/coulomb.hpp"
+#include "mra/function.hpp"
+#include "ops/apply.hpp"
+
+int main() {
+  using namespace mh;
+
+  const double width = 0.18;  // wave-packet width
+  auto packet = [&](std::span<const double> x) {
+    double r2 = 0.0;
+    for (double xi : x) {
+      const double u = (xi - 0.5) / width;
+      r2 += u * u;
+    }
+    return std::exp(-r2);
+  };
+
+  mra::FunctionParams fp;
+  fp.ndim = 4;
+  fp.k = 5;
+  fp.thresh = 5e-4;
+  fp.initial_level = 1;
+  fp.max_level = 2;
+
+  mra::Function psi = mra::Function::project(packet, fp);
+  std::printf("wave packet: %zu nodes, %zu leaves (4-D tensors of %zu^4)\n",
+              psi.num_nodes(), psi.num_leaves(), fp.k);
+  std::printf("|psi|  = %.6f, mass = %.6f\n", psi.norm2(), psi.integral());
+
+  // Three "propagation" steps: repeated smearing widens the packet like
+  // free-particle dispersion does.
+  const double tau = 0.08;  // effective kernel width per step
+  const auto prop = apps::make_smoothing_operator(4, fp.k, tau,
+                                                  /*max_disp=*/2,
+                                                  /*screen_thresh=*/1e-4);
+  const double step_mass = std::pow(std::sqrt(std::numbers::pi) * tau, 4.0);
+
+  const double expected_mass = psi.integral();
+  for (int step = 1; step <= 3; ++step) {
+    ops::ApplyStats stats;
+    psi = ops::apply(prop, psi, {}, &stats);
+    psi.scale(1.0 / step_mass);  // unit-mass propagator normalization
+    const double probe[4] = {0.5, 0.5, 0.5, 0.5};
+    std::printf(
+        "step %d: %zu tasks, %.0f Mflops of (k^3,k)x(k,k) GEMMs; "
+        "peak %.5f, mass error %.1e\n",
+        step, stats.tasks, stats.flops / 1e6, psi.eval(probe),
+        std::abs(psi.integral() - expected_mass));
+  }
+  std::printf(
+      "\nthe packet's peak decays as it disperses — the Table VI workload\n"
+      "is %zu such tasks (k = 14) spread over 100-500 Titan nodes.\n",
+      std::size_t{542'113});
+  return 0;
+}

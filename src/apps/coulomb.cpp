@@ -1,0 +1,53 @@
+#include "apps/coulomb.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/diagnostics.hpp"
+
+namespace mh::apps {
+
+mra::ScalarFn gaussian_mixture(std::vector<GaussianSite> sites) {
+  MH_CHECK(!sites.empty(), "mixture needs at least one site");
+  return [sites = std::move(sites)](std::span<const double> x) {
+    double v = 0.0;
+    for (const GaussianSite& site : sites) {
+      MH_DBG_ASSERT(site.center.size() == x.size());
+      double r2 = 0.0;
+      for (std::size_t m = 0; m < x.size(); ++m) {
+        const double d = x[m] - site.center[m];
+        r2 += d * d;
+      }
+      v += site.amplitude * std::exp(-r2 / (site.width * site.width));
+    }
+    return v;
+  };
+}
+
+ops::SeparatedConvolution make_coulomb_operator(std::size_t ndim,
+                                                std::size_t k, double eps,
+                                                std::int64_t max_disp,
+                                                double screen_thresh) {
+  ops::SeparatedConvolution::Params params;
+  params.ndim = ndim;
+  params.k = k;
+  params.thresh = screen_thresh;
+  params.max_disp = max_disp;
+  // 1/r over the box diagonal: r in [eps-limited core, sqrt(d)].
+  const double r_hi = std::sqrt(static_cast<double>(ndim));
+  return {params, ops::fit_coulomb(eps, 1e-4, r_hi)};
+}
+
+ops::SeparatedConvolution make_smoothing_operator(std::size_t ndim,
+                                                  std::size_t k, double width,
+                                                  std::int64_t max_disp,
+                                                  double screen_thresh) {
+  ops::SeparatedConvolution::Params params;
+  params.ndim = ndim;
+  params.k = k;
+  params.thresh = screen_thresh;
+  params.max_disp = max_disp;
+  return {params, ops::single_gaussian(width)};
+}
+
+}  // namespace mh::apps

@@ -1,0 +1,42 @@
+// Real-numerics application builders: the Coulomb operator application of
+// the paper (§III) at laptop scale, and Gaussian "molecular density" inputs.
+//
+// These drive the actual MRA + ops pipeline end to end (project -> apply ->
+// evaluate); the table benches use the descriptor-level workloads in
+// paper_workloads.hpp instead, because half a million real tensors would
+// not fit a laptop run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mra/function.hpp"
+#include "ops/convolution.hpp"
+
+namespace mh::apps {
+
+/// One Gaussian "atom": density amplitude * exp(-|x - center|^2 / width^2).
+struct GaussianSite {
+  std::vector<double> center;  ///< ndim coordinates in [0,1]
+  double width = 0.1;
+  double amplitude = 1.0;
+};
+
+/// A smooth molecular-like density: sum of Gaussian sites.
+mra::ScalarFn gaussian_mixture(std::vector<GaussianSite> sites);
+
+/// The Coulomb operator: 1/r fitted as a Gaussian sum on [r_lo, 1] to
+/// accuracy ~eps, wrapped as a separated convolution for d dimensions.
+ops::SeparatedConvolution make_coulomb_operator(std::size_t ndim,
+                                                std::size_t k, double eps,
+                                                std::int64_t max_disp,
+                                                double screen_thresh);
+
+/// A smoothing (Gaussian) operator of the given width — cheap single-term
+/// stand-in with the same code path, used by quickstart-scale examples.
+ops::SeparatedConvolution make_smoothing_operator(std::size_t ndim,
+                                                  std::size_t k, double width,
+                                                  std::int64_t max_disp,
+                                                  double screen_thresh);
+
+}  // namespace mh::apps

@@ -1,0 +1,196 @@
+#include "clustersim/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/diagnostics.hpp"
+#include "runtime/dispatch.hpp"
+
+namespace mh::cluster {
+namespace {
+
+// Build the descriptor batch for `count` tasks, assigning still-untouched
+// operator blocks (device-cache misses) to the earliest tasks.
+std::vector<gpu::GpuTaskDesc> make_batch(const Workload& workload,
+                                         std::size_t count,
+                                         std::size_t& remaining_new_blocks) {
+  std::vector<gpu::GpuTaskDesc> batch(count);
+  const std::size_t touched = workload.shape.steps();
+  for (auto& desc : batch) {
+    desc.shape = workload.shape;
+    desc.h_blocks_touched = touched;
+    desc.h_blocks_new = std::min(touched, remaining_new_blocks);
+    remaining_new_blocks -= desc.h_blocks_new;
+  }
+  return batch;
+}
+
+// GPU device-memory feasibility: input tree share + write-once cache.
+bool gpu_fits(const Workload& workload, std::size_t tasks,
+              const ClusterConfig& config, std::string* note) {
+  const double cache_bytes = static_cast<double>(workload.unique_h_blocks) *
+                             workload.shape.h_block_bytes();
+  const double data_bytes =
+      static_cast<double>(tasks) * workload.gpu_bytes_per_task;
+  if (cache_bytes + data_bytes > config.node.device.memory_bytes) {
+    if (note != nullptr) {
+      *note = "data per node too large for the GPU RAM";
+    }
+    return false;
+  }
+  return true;
+}
+
+void record_batch(NodeBreakdown* bd, const gpu::BatchTiming& timing) {
+  if (bd == nullptr) return;
+  bd->host_data += timing.host_prep + timing.host_post;
+  bd->dispatch += timing.dispatch;
+  bd->transfers += timing.transfer_in + timing.transfer_out;
+  bd->gpu_kernels += timing.kernel_span;
+}
+
+SimTime gpu_only_node_time(const Workload& workload, std::size_t tasks,
+                           const ClusterConfig& config,
+                           NodeBreakdown* breakdown) {
+  gpu::GpuDevice device(config.node.device, config.node.gpu_streams);
+  gpu::BatchConfig gcfg = config.gpu;
+  gcfg.streams = config.node.gpu_streams;
+  std::size_t remaining_new = workload.unique_h_blocks;
+  SimTime t = SimTime::zero();
+  std::size_t left = tasks;
+  while (left > 0) {
+    const std::size_t count = std::min(left, config.batch_size);
+    const auto batch = make_batch(workload, count, remaining_new);
+    const auto timing = gpu::run_apply_batch(device, nullptr, batch, gcfg, t);
+    record_batch(breakdown, timing);
+    t = timing.total_done;
+    left -= count;
+  }
+  return t;
+}
+
+SimTime cpu_only_node_time(const Workload& workload, std::size_t tasks,
+                           const ClusterConfig& config) {
+  return cpu_batch_time(config.node.cpu, workload.shape, tasks,
+                        config.cpu_compute_threads,
+                        config.rank_reduce ? config.rank_fraction : 1.0);
+}
+
+SimTime hybrid_node_time(const Workload& workload, std::size_t tasks,
+                         const ClusterConfig& config,
+                         NodeBreakdown* breakdown) {
+  gpu::GpuDevice device(config.node.device, config.node.gpu_streams);
+  gpu::BatchConfig gcfg = config.gpu;
+  gcfg.streams = config.node.gpu_streams;
+
+  // Split fraction: explicit, or k* = n/(m+n) from the model's own rates
+  // measured on a probe batch (mirrors the paper: the developer knows the
+  // relative CPU/GPU performance of the operator).
+  double frac = config.cpu_fraction;
+  if (frac < 0.0) {
+    const std::size_t probe = std::min<std::size_t>(
+        std::max<std::size_t>(tasks, 1), config.batch_size);
+    const SimTime m = cpu_batch_time(
+        config.node.cpu, workload.shape, probe, config.cpu_compute_threads,
+        config.rank_reduce ? config.rank_fraction : 1.0);
+    gpu::GpuDevice probe_dev(config.node.device, config.node.gpu_streams);
+    std::size_t probe_new = 0;  // steady-state: cache is warm
+    const auto probe_batch = make_batch(workload, probe, probe_new);
+    const SimTime n =
+        gpu::run_apply_batch(probe_dev, nullptr, probe_batch, gcfg,
+                             SimTime::zero())
+            .elapsed();
+    frac = rt::optimal_cpu_fraction(m.sec(), n.sec());
+  }
+
+  std::size_t remaining_new = workload.unique_h_blocks;
+  SimTime t = SimTime::zero();
+  std::size_t left = tasks;
+  while (left > 0) {
+    const std::size_t count = std::min(left, config.batch_size);
+    const std::size_t ncpu = rt::cpu_share(count, frac);
+    const std::size_t ngpu = count - ncpu;
+    const SimTime cpu_part =
+        cpu_batch_time(config.node.cpu, workload.shape, ncpu,
+                       config.cpu_compute_threads,
+                       config.rank_reduce ? config.rank_fraction : 1.0);
+    const SimTime cpu_done = t + cpu_part;
+    if (breakdown != nullptr) breakdown->cpu_compute += cpu_part;
+    SimTime gpu_done = t;
+    if (ngpu > 0) {
+      const auto batch = make_batch(workload, ngpu, remaining_new);
+      const auto timing = gpu::run_apply_batch(device, nullptr, batch, gcfg, t);
+      record_batch(breakdown, timing);
+      gpu_done = timing.total_done;
+    }
+    t = max(cpu_done, gpu_done);
+    left -= count;
+  }
+  return t;
+}
+
+}  // namespace
+
+SimTime node_run_time(const Workload& workload, std::size_t tasks,
+                      const ClusterConfig& config, NodeBreakdown* breakdown) {
+  if (tasks == 0) return SimTime::zero();
+  switch (config.mode) {
+    case ComputeMode::kCpuOnly: {
+      const SimTime t = cpu_only_node_time(workload, tasks, config);
+      if (breakdown != nullptr) breakdown->cpu_compute += t;
+      return t;
+    }
+    case ComputeMode::kGpuOnly:
+      return gpu_only_node_time(workload, tasks, config, breakdown);
+    case ComputeMode::kHybrid:
+      return hybrid_node_time(workload, tasks, config, breakdown);
+  }
+  MH_CHECK(false, "unknown compute mode");
+  return SimTime::zero();
+}
+
+ClusterResult run_cluster_apply(const Workload& workload,
+                                const NodeLoads& loads,
+                                const ClusterConfig& config) {
+  MH_CHECK(loads.size() == config.nodes, "load vector / node count mismatch");
+  MH_CHECK(config.nodes >= 1, "need at least one node");
+
+  ClusterResult result;
+  result.load_imbalance = imbalance(loads);
+
+  // Feasibility: every node's GPU data must fit (GPU and hybrid modes).
+  if (config.mode != ComputeMode::kCpuOnly) {
+    const std::size_t worst = *std::max_element(loads.begin(), loads.end());
+    std::string note;
+    if (!gpu_fits(workload, worst, config, &note)) {
+      result.feasible = false;
+      result.note = note;
+      return result;
+    }
+  }
+
+  const double msg_bytes = workload.shape.tensor_bytes();
+  for (std::size_t nodei = 0; nodei < loads.size(); ++nodei) {
+    const std::size_t tasks = loads[nodei];
+    NodeBreakdown breakdown;
+    const SimTime compute = node_run_time(workload, tasks, config, &breakdown);
+    // Remote accumulations: latency-dominated small messages, overlapped
+    // poorly with the tail of the computation (conservatively additive).
+    const double msgs =
+        static_cast<double>(tasks) * workload.remote_fraction;
+    const SimTime comm =
+        SimTime::seconds(msgs * (config.message_latency.sec() +
+                                 msg_bytes / config.interconnect_bandwidth));
+    const SimTime total = compute + comm;
+    result.node_times.push_back(total);
+    if (total > result.makespan) {
+      result.makespan = total;
+      result.slowest_node_compute = compute;
+      result.slowest_node_comm = comm;
+      breakdown.comm = comm;
+      result.slowest_breakdown = breakdown;
+    }
+  }
+  return result;
+}
+
+}  // namespace mh::cluster

@@ -1,0 +1,91 @@
+// Cluster-level simulation of a MADNESS Apply run (paper §III).
+//
+// Each node owns the tasks its process map assigned; within a node the run
+// proceeds in batches of `batch_size` compute tasks flowing through the
+// CPU-only, GPU-only, or hybrid path. The cluster makespan is the slowest
+// node plus its communication, mirroring static load balancing: there is no
+// work stealing (the paper's scaling limits come precisely from that).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "clustersim/cpu_model.hpp"
+#include "clustersim/process_map.hpp"
+#include "clustersim/workload.hpp"
+#include "common/sim_time.hpp"
+#include "gpusim/gpu_executor.hpp"
+
+namespace mh::cluster {
+
+struct NodeSpec {
+  CpuSpec cpu = CpuSpec::titan_interlagos();
+  gpu::DeviceSpec device = gpu::DeviceSpec::tesla_m2090();
+  std::size_t gpu_streams = 6;
+
+  /// A Titan XK6/XK7-style node: 16-core Interlagos + Tesla M2090.
+  static NodeSpec titan() { return NodeSpec{}; }
+};
+
+enum class ComputeMode { kCpuOnly, kGpuOnly, kHybrid };
+
+struct ClusterConfig {
+  std::size_t nodes = 1;
+  NodeSpec node;
+  ComputeMode mode = ComputeMode::kHybrid;
+  /// Worker threads for CPU compute (paper: 16 CPU-only; 15 in hybrid, one
+  /// core driving the GPU as dispatcher).
+  std::size_t cpu_compute_threads = 16;
+  std::size_t batch_size = 60;
+  bool rank_reduce = false;
+  double rank_fraction = 1.0;  ///< kred/k flop scale when rank_reduce is on
+  /// Hybrid split: fraction of each batch on the CPU; < 0 derives the
+  /// optimal k* = n/(m+n) from the model's own rates (probe batch).
+  double cpu_fraction = -1.0;
+  gpu::BatchConfig gpu;  ///< kernel choice, streams etc. (streams overridden
+                         ///< by node.gpu_streams)
+  // Interconnect (Gemini-class; the paper reports no network bottleneck).
+  double interconnect_bandwidth = 5e9;
+  SimTime message_latency = SimTime::micros(2.0);
+};
+
+/// Where one node's wall time went (aggregated over its batches).
+struct NodeBreakdown {
+  SimTime cpu_compute;  ///< CPU worker compute (CPU-only & hybrid CPU share)
+  SimTime host_data;    ///< preprocess + postprocess on data threads
+  SimTime dispatch;     ///< dispatcher thread: staging + pointer tables
+  SimTime transfers;    ///< PCIe in + out
+  SimTime gpu_kernels;  ///< device kernel span
+  SimTime comm;         ///< remote accumulations
+
+  SimTime total() const noexcept {
+    return cpu_compute + host_data + dispatch + transfers + gpu_kernels +
+           comm;
+  }
+};
+
+struct ClusterResult {
+  bool feasible = true;
+  std::string note;  ///< set when infeasible (e.g. exceeds GPU RAM)
+  SimTime makespan;
+  double load_imbalance = 1.0;
+  SimTime slowest_node_compute;
+  SimTime slowest_node_comm;
+  NodeBreakdown slowest_breakdown;  ///< phase profile of the slowest node
+  std::vector<SimTime> node_times;
+};
+
+/// Simulate the run given per-node task loads (from a process map).
+ClusterResult run_cluster_apply(const Workload& workload,
+                                const NodeLoads& loads,
+                                const ClusterConfig& config);
+
+/// Time of one node processing `tasks` tasks under `config` (exposed for
+/// single-node benches: Tables I and II). `breakdown`, when non-null,
+/// receives the phase profile.
+SimTime node_run_time(const Workload& workload, std::size_t tasks,
+                      const ClusterConfig& config,
+                      NodeBreakdown* breakdown = nullptr);
+
+}  // namespace mh::cluster

@@ -1,0 +1,58 @@
+#include "clustersim/process_map.hpp"
+
+#include <algorithm>
+
+#include "common/diagnostics.hpp"
+#include "common/hash.hpp"
+
+namespace mh::cluster {
+
+NodeLoads even_map(std::size_t total_tasks, std::size_t nodes) {
+  MH_CHECK(nodes >= 1, "need at least one node");
+  NodeLoads loads(nodes, total_tasks / nodes);
+  // Distribute the remainder one task at a time, like round-robin would.
+  for (std::size_t i = 0; i < total_tasks % nodes; ++i) ++loads[i];
+  return loads;
+}
+
+NodeLoads locality_map(const std::vector<std::size_t>& group_sizes,
+                       std::size_t nodes, std::uint64_t seed) {
+  MH_CHECK(nodes >= 1, "need at least one node");
+  NodeLoads loads(nodes, 0);
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    const std::uint64_t h = hash_combine(mix64(seed), mix64(g));
+    loads[h % nodes] += group_sizes[g];
+  }
+  return loads;
+}
+
+NodeLoads lpt_map(const std::vector<std::size_t>& group_sizes,
+                  std::size_t nodes) {
+  MH_CHECK(nodes >= 1, "need at least one node");
+  std::vector<std::size_t> order(group_sizes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return group_sizes[a] > group_sizes[b];
+  });
+  NodeLoads loads(nodes, 0);
+  for (std::size_t g : order) {
+    auto least = std::min_element(loads.begin(), loads.end());
+    *least += group_sizes[g];
+  }
+  return loads;
+}
+
+double imbalance(const NodeLoads& loads) {
+  MH_CHECK(!loads.empty(), "empty load vector");
+  std::size_t total = 0, worst = 0;
+  for (std::size_t l : loads) {
+    total += l;
+    worst = std::max(worst, l);
+  }
+  if (total == 0) return 1.0;
+  const double ideal =
+      static_cast<double>(total) / static_cast<double>(loads.size());
+  return static_cast<double>(worst) / ideal;
+}
+
+}  // namespace mh::cluster

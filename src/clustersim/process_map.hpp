@@ -1,0 +1,41 @@
+// Process maps: the tree-node -> compute-node assignment (paper §I-A, §III).
+//
+// MADNESS distributes the multiresolution tree's nodes over the cluster with
+// a user-selectable process map and *static* load balancing. The paper uses
+// two: an even distribution (Tables III/IV only) and the default
+// locality-preserving map that assigns whole subtrees to nodes — which is
+// uneven and the reason scaling in Tables V/VI is sublinear ("the process
+// map assigns more work to some of the nodes").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mh::cluster {
+
+/// Load of each cluster node, in tasks.
+using NodeLoads = std::vector<std::size_t>;
+
+/// Even round-robin of tasks over nodes (paper: "a MADNESS process map that
+/// distributes work evenly among all compute nodes", Tables III/IV).
+NodeLoads even_map(std::size_t total_tasks, std::size_t nodes);
+
+/// Locality map: work arrives as subtree groups (given as per-group task
+/// counts); each group is hashed to one node, so load is uneven and a small
+/// group count starves some nodes (Table V's missing 6 -> 8 node speedup).
+NodeLoads locality_map(const std::vector<std::size_t>& group_sizes,
+                       std::size_t nodes, std::uint64_t seed = 0);
+
+/// Extension beyond the paper: a balance-aware static map. Subtree groups
+/// are placed largest-first onto the least-loaded node (classic LPT
+/// scheduling). Keeps whole subtrees together (locality) while bounding
+/// imbalance — what the paper's "MADNESS uses static load balancing"
+/// limitation leaves on the table.
+NodeLoads lpt_map(const std::vector<std::size_t>& group_sizes,
+                  std::size_t nodes);
+
+/// Largest node load divided by the ideal (total/nodes); 1.0 = balanced.
+double imbalance(const NodeLoads& loads);
+
+}  // namespace mh::cluster

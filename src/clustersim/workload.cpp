@@ -1,0 +1,67 @@
+#include "clustersim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/diagnostics.hpp"
+#include "common/rng.hpp"
+
+namespace mh::cluster {
+
+std::vector<std::size_t> power_law_groups(std::size_t tasks,
+                                          std::size_t ngroups, double skew,
+                                          std::uint64_t seed) {
+  MH_CHECK(ngroups >= 1, "need at least one group");
+  MH_CHECK(tasks >= ngroups, "fewer tasks than groups");
+  MH_CHECK(skew > 0.0, "skew must be positive");
+  Rng rng(seed);
+  // Draw Pareto-ish weights, normalize to `tasks` with one task minimum.
+  std::vector<double> weights(ngroups);
+  double total = 0.0;
+  for (double& w : weights) {
+    const double u = std::max(1e-12, rng.next_double());
+    w = std::pow(u, -1.0 / skew);  // heavier tail for smaller skew
+    total += w;
+  }
+  std::vector<std::size_t> sizes(ngroups, 1);
+  std::size_t assigned = ngroups;
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    const auto extra = static_cast<std::size_t>(
+        weights[g] / total * static_cast<double>(tasks - ngroups));
+    sizes[g] += extra;
+    assigned += extra;
+  }
+  // Distribute the rounding remainder over the largest groups.
+  std::size_t g = 0;
+  while (assigned < tasks) {
+    ++sizes[g % ngroups];
+    ++assigned;
+    ++g;
+  }
+  return sizes;
+}
+
+std::size_t estimate_unique_blocks(std::size_t terms, std::size_t levels,
+                                   std::int64_t max_disp) {
+  MH_CHECK(max_disp >= 0, "negative displacement cap");
+  return terms * levels * static_cast<std::size_t>(2 * max_disp + 1);
+}
+
+Workload make_workload(std::string name, gpu::ApplyTaskShape shape,
+                       std::size_t tasks, std::size_t ngroups, double skew,
+                       std::uint64_t seed) {
+  Workload w;
+  w.name = std::move(name);
+  w.shape = shape;
+  w.tasks = tasks;
+  w.group_sizes = power_law_groups(tasks, ngroups, skew, seed);
+  w.unique_h_blocks = estimate_unique_blocks(shape.terms, 10, 4);
+  // Default device-resident footprint per task: tasks stream through in
+  // batches, so only a fraction of their data (the node's tree share plus
+  // staging buffers) stays resident. Experiments with a known feasibility
+  // boundary override this (Tables III/IV).
+  w.gpu_bytes_per_task = 0.2 * shape.tensor_bytes();
+  return w;
+}
+
+}  // namespace mh::cluster

@@ -1,0 +1,50 @@
+// Descriptor-level workloads for the cluster simulator.
+//
+// The table benches replay the paper's applications at their stated scales
+// (e.g. 154,468 tasks for the 1e-11 Coulomb run, 542,113 for 4-D TDSE)
+// without materializing half a million real coefficient tensors: a Workload
+// carries the task shape, counts, operator-block reuse, and the subtree
+// group structure that the locality process map distributes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/kernels.hpp"
+
+namespace mh::cluster {
+
+struct Workload {
+  std::string name;
+  gpu::ApplyTaskShape shape;
+  std::size_t tasks = 0;
+  /// Distinct operator blocks over the whole run (term x level x disp).
+  std::size_t unique_h_blocks = 0;
+  /// Device-resident bytes per task (input tree share, results, buffers) —
+  /// drives the "data per node too large for GPU RAM" feasibility rows.
+  double gpu_bytes_per_task = 0.0;
+  /// Subtree groups (task counts) distributed by the locality process map.
+  std::vector<std::size_t> group_sizes;
+  /// Fraction of tasks whose accumulation crosses a node boundary.
+  double remote_fraction = 0.15;
+};
+
+/// Power-law subtree sizes summing to `tasks`: a few big subtrees and a long
+/// tail, like an adaptively refined tree. skew > 0; larger = more uneven.
+std::vector<std::size_t> power_law_groups(std::size_t tasks,
+                                          std::size_t ngroups, double skew,
+                                          std::uint64_t seed);
+
+/// Estimated distinct operator blocks: terms x levels x band 1-D blocks
+/// (blocks are shared across dimensions for an isotropic kernel).
+std::size_t estimate_unique_blocks(std::size_t terms, std::size_t levels,
+                                   std::int64_t max_disp);
+
+/// Assemble a workload descriptor.
+Workload make_workload(std::string name, gpu::ApplyTaskShape shape,
+                       std::size_t tasks, std::size_t ngroups, double skew,
+                       std::uint64_t seed);
+
+}  // namespace mh::cluster

@@ -1,0 +1,22 @@
+#include "common/diagnostics.hpp"
+
+#include <sstream>
+
+namespace mh {
+
+Error::Error(const std::string& what, std::source_location loc)
+    : std::runtime_error(what), file_(loc.file_name()), line_(loc.line()) {}
+
+namespace detail {
+
+[[noreturn]] void throw_error(const char* expr, const std::string& message,
+                              std::source_location loc) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ")";
+  if (!message.empty()) os << " — " << message;
+  os << " at " << loc.file_name() << ":" << loc.line();
+  throw Error(os.str(), loc);
+}
+
+}  // namespace detail
+}  // namespace mh

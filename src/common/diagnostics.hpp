@@ -1,0 +1,54 @@
+// Error handling primitives shared by every madness-hybrid module.
+//
+// The library throws mh::Error for precondition violations and internal
+// invariant failures; it never calls std::abort on user input. MH_CHECK is
+// always on (cheap: one predictable branch); MH_DBG_ASSERT compiles away in
+// release builds and guards hot inner loops.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace mh {
+
+/// Exception thrown on contract violations anywhere in madness-hybrid.
+class Error : public std::runtime_error {
+ public:
+  Error(const std::string& what, std::source_location loc);
+
+  /// File where the failed check lives (for log triage).
+  const char* file() const noexcept { return file_; }
+  /// Line of the failed check.
+  unsigned line() const noexcept { return line_; }
+
+ private:
+  const char* file_;
+  unsigned line_;
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* expr, const std::string& message,
+                              std::source_location loc);
+}  // namespace detail
+
+}  // namespace mh
+
+/// Always-on contract check; throws mh::Error with expression text and an
+/// optional message: MH_CHECK(n > 0, "tensor must be non-empty").
+#define MH_CHECK(expr, ...)                                                  \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      ::mh::detail::throw_error(#expr, ::std::string{__VA_ARGS__},          \
+                                ::std::source_location::current());         \
+    }                                                                       \
+  } while (false)
+
+/// Debug-only assert for hot paths; vanishes when NDEBUG is defined.
+#ifdef NDEBUG
+#define MH_DBG_ASSERT(expr) \
+  do {                      \
+  } while (false)
+#else
+#define MH_DBG_ASSERT(expr) MH_CHECK(expr)
+#endif

@@ -1,0 +1,46 @@
+// Small deterministic hashing utilities.
+//
+// The batching runtime identifies a task "kind" by combining the compute
+// function's address with a user-defined hash of the inputs (paper §II-A,
+// footnote 2); these helpers provide the mixing primitives. All hashes are
+// deterministic across runs so simulations are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mh {
+
+/// 64-bit FNV-1a over raw bytes.
+constexpr std::uint64_t fnv1a(std::span<const std::byte> bytes,
+                              std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Strong 64-bit finalizer (splitmix64 mixing step).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combination of two hashes.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Hash a trivially-copyable value by its object representation.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::uint64_t hash_value(const T& v) noexcept {
+  return fnv1a(std::as_bytes(std::span<const T, 1>{&v, 1}));
+}
+
+}  // namespace mh

@@ -1,0 +1,62 @@
+// Deterministic random number generation.
+//
+// Workload generators and property tests must be reproducible byte-for-byte
+// across runs and platforms, so we ship our own xoshiro256** instead of
+// relying on unspecified std::mt19937 distributions.
+#pragma once
+
+#include <cstdint>
+
+#include "common/hash.hpp"
+
+namespace mh {
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 0x5eedULL) noexcept {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      s = mix64(x);
+    }
+  }
+
+  constexpr std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    // Multiply-shift rejection-free mapping; bias is negligible for n << 2^64.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace mh

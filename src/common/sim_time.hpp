@@ -1,0 +1,67 @@
+// Simulated-time type used throughout the GPU and cluster simulators.
+//
+// A strong type (not a bare double) so that wall-clock seconds and simulated
+// seconds cannot be mixed accidentally. All cost models produce SimTime.
+#pragma once
+
+#include <compare>
+#include <ostream>
+
+namespace mh {
+
+/// A duration/instant on the simulated clock, in seconds.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  static constexpr SimTime seconds(double s) noexcept { return SimTime{s}; }
+  static constexpr SimTime millis(double ms) noexcept { return SimTime{ms * 1e-3}; }
+  static constexpr SimTime micros(double us) noexcept { return SimTime{us * 1e-6}; }
+  static constexpr SimTime zero() noexcept { return SimTime{0.0}; }
+
+  constexpr double sec() const noexcept { return s_; }
+  constexpr double ms() const noexcept { return s_ * 1e3; }
+  constexpr double us() const noexcept { return s_ * 1e6; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
+    return SimTime{a.s_ + b.s_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
+    return SimTime{a.s_ - b.s_};
+  }
+  friend constexpr SimTime operator*(SimTime a, double k) noexcept {
+    return SimTime{a.s_ * k};
+  }
+  friend constexpr SimTime operator*(double k, SimTime a) noexcept {
+    return SimTime{a.s_ * k};
+  }
+  friend constexpr SimTime operator/(SimTime a, double k) noexcept {
+    return SimTime{a.s_ / k};
+  }
+  /// Ratio of two durations.
+  friend constexpr double operator/(SimTime a, SimTime b) noexcept {
+    return a.s_ / b.s_;
+  }
+  constexpr SimTime& operator+=(SimTime o) noexcept {
+    s_ += o.s_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) noexcept {
+    s_ -= o.s_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.s_ << "s";
+  }
+
+ private:
+  explicit constexpr SimTime(double s) noexcept : s_(s) {}
+  double s_ = 0.0;
+};
+
+constexpr SimTime max(SimTime a, SimTime b) noexcept { return a < b ? b : a; }
+constexpr SimTime min(SimTime a, SimTime b) noexcept { return a < b ? a : b; }
+
+}  // namespace mh

@@ -1,0 +1,34 @@
+// Lightweight descriptive statistics used by benches and run reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mh {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile (nearest-rank) of a sample; sorts a copy.
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace mh

@@ -1,0 +1,54 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/diagnostics.hpp"
+
+namespace mh {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  MH_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MH_CHECK(cells.size() == headers_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto line = [&](char fill) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, fill);
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(width[c])) << cells[c] << ' ';
+    }
+    os << "|\n";
+  };
+
+  line('-');
+  emit(headers_);
+  line('=');
+  for (const auto& row : rows_) emit(row);
+  line('-');
+}
+
+}  // namespace mh

@@ -1,0 +1,32 @@
+// Plain-text table printer for the paper-reproduction benches.
+//
+// Every bench binary prints rows in the same layout as the paper's tables so
+// that measured-vs-paper comparison is a visual diff. Cells are strings; the
+// printer right-aligns numerics-looking cells and pads columns.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mh {
+
+class TextTable {
+ public:
+  /// Begin a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mh

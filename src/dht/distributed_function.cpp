@@ -1,0 +1,100 @@
+#include "dht/distributed_function.hpp"
+
+#include <utility>
+
+#include "common/diagnostics.hpp"
+
+namespace mh::dht {
+
+DistributedFunction::DistributedFunction(const mra::Function& fn,
+                                         const OwnerMap& owners)
+    : params_(fn.params()), map_(owners) {
+  MH_CHECK(!fn.compressed(), "scatter requires reconstructed form");
+  for (const mra::Key& key : fn.leaf_keys()) {
+    const Tensor& coeffs = fn.leaf_coeffs(key);
+    map_.put(/*from_rank=*/0, key, coeffs,
+             static_cast<double>(coeffs.size()) * 8.0);
+  }
+}
+
+std::vector<std::size_t> DistributedFunction::apply_loads(
+    const ops::SeparatedConvolution& op) const {
+  std::vector<std::size_t> loads(ranks(), 0);
+  for (std::size_t rank = 0; rank < ranks(); ++rank) {
+    for (const auto& [key, coeffs] : map_.shard(rank)) {
+      const auto& disps = op.displacements(key.level());
+      for (const auto& disp : disps) {
+        mra::Key target;
+        if (key.neighbor(
+                std::span<const std::int64_t>{disp.data(), params_.ndim},
+                target)) {
+          ++loads[rank];
+        }
+      }
+    }
+  }
+  return loads;
+}
+
+mra::Function DistributedFunction::gather() const {
+  std::vector<std::pair<mra::Key, Tensor>> leaves;
+  leaves.reserve(map_.size());
+  for (std::size_t rank = 0; rank < ranks(); ++rank) {
+    for (const auto& [key, coeffs] : map_.shard(rank)) {
+      leaves.emplace_back(key, coeffs);
+    }
+  }
+  return mra::Function::from_leaves(params_, leaves);
+}
+
+mra::Function distributed_apply(const ops::SeparatedConvolution& op,
+                                const DistributedFunction& f,
+                                ops::ApplyStats* stats, CommStats* comm_out) {
+  MH_CHECK(op.params().ndim == f.params().ndim &&
+               op.params().k == f.params().k,
+           "operator/function parameter mismatch");
+  const std::size_t d = f.params().ndim;
+  // One result tensor (k^d doubles) per accumulated message.
+  double payload_bytes = 8.0;
+  for (std::size_t m = 0; m < d; ++m)
+    payload_bytes *= static_cast<double>(op.params().k);
+
+  // The result tree is itself a distributed map under the same owner map;
+  // contributions are accumulated *at the target's owner* (an active
+  // message when the displacement leaves the source's rank).
+  DistributedMap<Tensor> result(f.map().owners());
+  ops::ApplyStats local;
+  for (std::size_t rank = 0; rank < f.ranks(); ++rank) {
+    for (const auto& [key, coeffs] : f.map().shard(rank)) {
+      for (const auto& disp : op.displacements(key.level())) {
+        mra::Key target;
+        if (!key.neighbor(std::span<const std::int64_t>{disp.data(), d},
+                          target)) {
+          continue;
+        }
+        Tensor r =
+            ops::apply_task_compute(op, coeffs, key.level(), disp, {}, &local);
+        result.accumulate(rank, target, std::move(r), payload_bytes,
+                          [](Tensor& acc, Tensor&& incoming) {
+                            acc += incoming;
+                          });
+      }
+    }
+  }
+
+  // Gather the distributed result into one address space.
+  mra::Function out(f.params());
+  out.accumulate(mra::Key::root(d), Tensor::cube(d, op.params().k));
+  for (std::size_t rank = 0; rank < f.ranks(); ++rank) {
+    for (const auto& [key, r] : result.shard(rank)) {
+      out.accumulate(key, r);
+    }
+  }
+  out.sum_down();
+
+  if (stats != nullptr) *stats = local;
+  if (comm_out != nullptr) *comm_out = result.comm();
+  return out;
+}
+
+}  // namespace mh::dht

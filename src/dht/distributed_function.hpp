@@ -1,0 +1,60 @@
+// A multiresolution function scattered over simulated ranks, and the
+// distributed Apply over it.
+//
+// This is the data layout of the paper's runs: tree nodes live in a
+// distributed hash table under a process map; every Apply task executes on
+// the rank that owns its *source* leaf, and its result is accumulated into
+// the owner of the *target* key — a remote active message when the
+// displacement crosses a subtree boundary. The distributed result is
+// bit-identical to the serial ops::apply (tests enforce this); what differs
+// is the communication profile, which depends on the owner map.
+#pragma once
+
+#include <cstddef>
+
+#include "dht/distributed_map.hpp"
+#include "dht/owner_map.hpp"
+#include "mra/function.hpp"
+#include "ops/apply.hpp"
+
+namespace mh::dht {
+
+class DistributedFunction {
+ public:
+  /// Scatter a reconstructed function's leaves over the owner map's ranks.
+  /// Scattering is issued from rank 0 (the projector), so the initial
+  /// distribution itself counts messages, as a real run would.
+  DistributedFunction(const mra::Function& fn, const OwnerMap& owners);
+
+  std::size_t ranks() const noexcept { return map_.ranks(); }
+  const mra::FunctionParams& params() const noexcept { return params_; }
+  std::size_t num_leaves() const { return map_.size(); }
+  std::size_t leaves_on(std::size_t rank) const {
+    return map_.shard_size(rank);
+  }
+
+  /// Task-count load of every rank for one Apply of `op` (what the process
+  /// map hands each compute node).
+  std::vector<std::size_t> apply_loads(
+      const ops::SeparatedConvolution& op) const;
+
+  /// Reassemble a single-address-space Function (gather to rank 0).
+  mra::Function gather() const;
+
+  const DistributedMap<Tensor>& map() const noexcept { return map_; }
+
+ private:
+  mra::FunctionParams params_;
+  DistributedMap<Tensor> map_;
+};
+
+/// Distributed Apply: each source rank computes its own leaves' tasks and
+/// accumulates results at the target owners. Returns the gathered result
+/// (leaf-consistent via sum_down). `comm_out`, if given, receives the
+/// Apply-phase communication stats (scatter traffic excluded).
+mra::Function distributed_apply(const ops::SeparatedConvolution& op,
+                                const DistributedFunction& f,
+                                ops::ApplyStats* stats = nullptr,
+                                CommStats* comm_out = nullptr);
+
+}  // namespace mh::dht

@@ -1,0 +1,119 @@
+// An in-process simulation of MADNESS's distributed hash table (paper
+// §I-A: "Distributed trees are implemented in MADNESS with distributed
+// hash tables").
+//
+// R ranks each hold a local map; every operation is issued *from* a rank,
+// and touching a key owned elsewhere is accounted as a message (MADNESS's
+// active messages / AM-driven accumulate). The container is the substrate
+// under DistributedFunction and the distributed Apply; tests assert both
+// the data semantics and the communication accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "dht/owner_map.hpp"
+#include "mra/key.hpp"
+
+namespace mh::dht {
+
+struct CommStats {
+  std::size_t local_ops = 0;
+  std::size_t remote_ops = 0;   ///< operations that crossed ranks
+  std::size_t messages = 0;     ///< one per remote op (active message)
+  double bytes = 0.0;           ///< payload bytes shipped
+
+  double remote_fraction() const noexcept {
+    const std::size_t total = local_ops + remote_ops;
+    return total == 0 ? 0.0
+                      : static_cast<double>(remote_ops) /
+                            static_cast<double>(total);
+  }
+};
+
+template <typename V>
+class DistributedMap {
+ public:
+  /// The map does not own `owners`; it must outlive the container.
+  explicit DistributedMap(const OwnerMap& owners)
+      : owners_(owners), shards_(owners.ranks()) {}
+
+  std::size_t ranks() const noexcept { return shards_.size(); }
+  std::size_t owner(const mra::Key& key) const { return owners_.owner(key); }
+  const OwnerMap& owners() const noexcept { return owners_; }
+
+  /// Insert or overwrite, issued from `from_rank`. `bytes` is the payload
+  /// size for communication accounting.
+  void put(std::size_t from_rank, const mra::Key& key, V value, double bytes) {
+    const std::size_t to = route(from_rank, bytes, key);
+    shards_[to].insert_or_assign(key, std::move(value));
+  }
+
+  /// Lookup issued from `from_rank`; nullptr when absent. A remote find
+  /// costs a round trip (counted as one message + payload bytes back).
+  const V* find(std::size_t from_rank, const mra::Key& key,
+                double bytes) const {
+    route(from_rank, bytes, key);
+    const auto& shard = shards_[owners_.owner(key)];
+    const auto it = shard.find(key);
+    return it == shard.end() ? nullptr : &it->second;
+  }
+
+  /// The MADNESS accumulate pattern: ship `value` to the owner and combine
+  /// it there with `combine(existing, incoming)`; creates the entry if new.
+  template <typename Combine>
+  void accumulate(std::size_t from_rank, const mra::Key& key, V value,
+                  double bytes, Combine&& combine) {
+    route(from_rank, bytes, key);
+    auto& shard = shards_[owners_.owner(key)];
+    auto [it, inserted] = shard.try_emplace(key, std::move(value));
+    if (!inserted) combine(it->second, std::move(value));
+  }
+
+  bool contains(const mra::Key& key) const {
+    return shards_[owners_.owner(key)].contains(key);
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& shard : shards_) n += shard.size();
+    return n;
+  }
+  std::size_t shard_size(std::size_t rank) const {
+    MH_CHECK(rank < shards_.size(), "rank out of range");
+    return shards_[rank].size();
+  }
+
+  /// Local view of one rank's shard (iteration for gather/inspection).
+  const std::unordered_map<mra::Key, V, mra::KeyHash>& shard(
+      std::size_t rank) const {
+    MH_CHECK(rank < shards_.size(), "rank out of range");
+    return shards_[rank];
+  }
+
+  const CommStats& comm() const noexcept { return comm_; }
+
+ private:
+  std::size_t route(std::size_t from_rank, double bytes,
+                    const mra::Key& key) const {
+    MH_CHECK(from_rank < shards_.size(), "rank out of range");
+    const std::size_t to = owners_.owner(key);
+    if (to == from_rank) {
+      ++comm_.local_ops;
+    } else {
+      ++comm_.remote_ops;
+      ++comm_.messages;
+      comm_.bytes += bytes;
+    }
+    return to;
+  }
+
+  const OwnerMap& owners_;
+  std::vector<std::unordered_map<mra::Key, V, mra::KeyHash>> shards_;
+  mutable CommStats comm_;
+};
+
+}  // namespace mh::dht

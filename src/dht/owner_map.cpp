@@ -1,0 +1,33 @@
+#include "dht/owner_map.hpp"
+
+#include "common/diagnostics.hpp"
+#include "common/hash.hpp"
+
+namespace mh::dht {
+
+OwnerMap::OwnerMap(std::size_t ranks) : ranks_(ranks) {
+  MH_CHECK(ranks >= 1, "owner map needs at least one rank");
+}
+
+HashOwnerMap::HashOwnerMap(std::size_t ranks, std::uint64_t seed)
+    : OwnerMap(ranks), seed_(seed) {}
+
+std::size_t HashOwnerMap::owner(const mra::Key& key) const {
+  return static_cast<std::size_t>(hash_combine(mix64(seed_), key.hash()) %
+                                  ranks_);
+}
+
+SubtreeOwnerMap::SubtreeOwnerMap(std::size_t ranks, int subtree_level,
+                                 std::uint64_t seed)
+    : OwnerMap(ranks), subtree_level_(subtree_level), seed_(seed) {
+  MH_CHECK(subtree_level >= 0, "subtree level must be non-negative");
+}
+
+std::size_t SubtreeOwnerMap::owner(const mra::Key& key) const {
+  mra::Key anchor = key;
+  while (anchor.level() > subtree_level_) anchor = anchor.parent();
+  return static_cast<std::size_t>(hash_combine(mix64(seed_), anchor.hash()) %
+                                  ranks_);
+}
+
+}  // namespace mh::dht

@@ -1,0 +1,59 @@
+// Tree-node -> rank ownership, the MADNESS "process map" at the data level.
+//
+// MADNESS stores the multiresolution tree in a distributed hash table
+// (paper §I-A): every tree node lives on exactly one compute node, chosen
+// by a process map. Two maps are provided, mirroring the paper's setups:
+//
+//   HashOwnerMap    — uniform hashing of keys (the even distribution of
+//                     Tables III/IV at the data level);
+//   SubtreeOwnerMap — a whole subtree rooted at a level-L ancestor maps to
+//                     one rank (the default locality-preserving MADNESS
+//                     map: fewer remote accumulations, less balance).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "mra/key.hpp"
+
+namespace mh::dht {
+
+class OwnerMap {
+ public:
+  explicit OwnerMap(std::size_t ranks);
+  virtual ~OwnerMap() = default;
+
+  std::size_t ranks() const noexcept { return ranks_; }
+  /// The rank owning this key.
+  virtual std::size_t owner(const mra::Key& key) const = 0;
+
+ protected:
+  std::size_t ranks_;
+};
+
+/// Uniform hashing of (level, translation).
+class HashOwnerMap final : public OwnerMap {
+ public:
+  explicit HashOwnerMap(std::size_t ranks, std::uint64_t seed = 0);
+  std::size_t owner(const mra::Key& key) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Keys map by their level-`subtree_level` ancestor: entire subtrees are
+/// co-located, so same-subtree accumulations never leave the rank.
+class SubtreeOwnerMap final : public OwnerMap {
+ public:
+  SubtreeOwnerMap(std::size_t ranks, int subtree_level,
+                  std::uint64_t seed = 0);
+  std::size_t owner(const mra::Key& key) const override;
+  int subtree_level() const noexcept { return subtree_level_; }
+
+ private:
+  int subtree_level_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mh::dht

@@ -1,0 +1,116 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+
+#include "common/diagnostics.hpp"
+
+namespace mh::gpu {
+
+DeviceSpec DeviceSpec::tesla_m2090() {
+  DeviceSpec s;
+  s.name = "Tesla M2090 (Fermi)";
+  s.num_sms = 16;
+  s.flops_per_sm = 665.0e9 / 16.0;  // 665 GF DP peak
+  s.memory_bytes = 6e9;             // 6 GB GDDR5
+  s.pinned_bandwidth = 8e9;         // PCIe 2.0 x16 practical
+  s.pageable_bandwidth = 3e9;
+  return s;
+}
+
+DeviceSpec DeviceSpec::gtx480() {
+  DeviceSpec s;
+  s.name = "GeForce GTX 480 (Fermi)";
+  s.num_sms = 15;
+  // GeForce Fermi runs double precision at 1/4 the Tesla rate class:
+  // ~168 GF DP across the card.
+  s.flops_per_sm = 168.0e9 / 15.0;
+  s.memory_bytes = 1.5e9;
+  s.pinned_bandwidth = 8e9;
+  s.pageable_bandwidth = 3e9;
+  return s;
+}
+
+GpuDevice::GpuDevice(DeviceSpec spec, std::size_t num_streams)
+    : spec_(std::move(spec)) {
+  MH_CHECK(num_streams >= 1 && num_streams <= spec_.max_streams,
+           "stream count out of range");
+  MH_CHECK(spec_.num_sms >= 1, "device needs SMs");
+  stream_ready_.assign(num_streams, SimTime::zero());
+  sm_free_.assign(spec_.num_sms, SimTime::zero());
+}
+
+SimTime GpuDevice::enqueue_transfer(std::size_t stream, double bytes,
+                                    bool pinned, SimTime ready,
+                                    bool to_device) {
+  MH_CHECK(stream < stream_ready_.size(), "stream out of range");
+  MH_CHECK(bytes >= 0.0, "negative transfer size");
+  const double bw = pinned ? spec_.pinned_bandwidth : spec_.pageable_bandwidth;
+  const SimTime start =
+      max(max(ready, stream_ready_[stream]), copy_engine_free_);
+  const SimTime done =
+      start + spec_.transfer_latency + SimTime::seconds(bytes / bw);
+  stream_ready_[stream] = done;
+  copy_engine_free_ = done;
+  ++stats_.transfers;
+  (to_device ? stats_.bytes_to_device : stats_.bytes_to_host) += bytes;
+  return done;
+}
+
+SimTime GpuDevice::enqueue_kernel(std::size_t stream, std::size_t sms,
+                                  SimTime duration, SimTime ready) {
+  MH_CHECK(stream < stream_ready_.size(), "stream out of range");
+  MH_CHECK(sms >= 1 && sms <= spec_.num_sms, "SM request out of range");
+  MH_CHECK(duration >= SimTime::zero(), "negative kernel duration");
+
+  // Launches serialize per stream (each stream has a feeding host thread —
+  // the paper's "CPU threads for data access"); the kernel cannot start
+  // before its stream drains, its launch retires, and its data is ready.
+  const SimTime earliest =
+      max(ready, stream_ready_[stream]) + spec_.kernel_launch_overhead;
+
+  // Gang-schedule `sms` SMs: pick the soonest-free ones; the kernel starts
+  // when the last of them frees up (they must be resident together for the
+  // inter-block barrier).
+  std::vector<std::size_t> order(sm_free_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return sm_free_[a] < sm_free_[b];
+  });
+  SimTime start = earliest;
+  for (std::size_t i = 0; i < sms; ++i) start = max(start, sm_free_[order[i]]);
+  const SimTime done = start + duration;
+  for (std::size_t i = 0; i < sms; ++i) sm_free_[order[i]] = done;
+
+  stream_ready_[stream] = done;
+  ++stats_.kernels_launched;
+  stats_.sm_busy_seconds += static_cast<double>(sms) * duration.sec();
+  return done;
+}
+
+SimTime GpuDevice::page_lock(SimTime ready) {
+  ++stats_.page_locks;
+  return ready + spec_.page_lock_cost;
+}
+
+SimTime GpuDevice::page_unlock(SimTime ready) {
+  ++stats_.page_unlocks;
+  return ready + spec_.page_unlock_cost;
+}
+
+SimTime GpuDevice::stream_ready(std::size_t stream) const {
+  MH_CHECK(stream < stream_ready_.size(), "stream out of range");
+  return stream_ready_[stream];
+}
+
+SimTime GpuDevice::idle_time() const {
+  SimTime t = SimTime::zero();
+  for (SimTime s : stream_ready_) t = max(t, s);
+  return t;
+}
+
+double GpuDevice::occupancy() const {
+  const double total = idle_time().sec() * static_cast<double>(spec_.num_sms);
+  return total > 0.0 ? stats_.sm_busy_seconds / total : 0.0;
+}
+
+}  // namespace mh::gpu

@@ -1,0 +1,24 @@
+#include "gpusim/device_cache.hpp"
+
+namespace mh::gpu {
+
+DeviceCache::DeviceCache(double capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+  MH_CHECK(capacity_bytes > 0.0, "cache capacity must be positive");
+}
+
+bool DeviceCache::lookup_or_insert(std::uint64_t block_id, double bytes) {
+  MH_CHECK(bytes >= 0.0, "negative block size");
+  if (entries_.contains(block_id)) {
+    ++hits_;
+    return true;
+  }
+  MH_CHECK(used_bytes_ + bytes <= capacity_bytes_,
+           "device memory exhausted (write-once cache cannot evict)");
+  entries_.insert(block_id);
+  used_bytes_ += bytes;
+  ++misses_;
+  return false;
+}
+
+}  // namespace mh::gpu

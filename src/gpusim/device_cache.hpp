@@ -1,0 +1,54 @@
+// Write-once software cache of operator blocks on the (simulated) device.
+//
+// The h matrices of Formula 1 are reused by hundreds of tasks; transferring
+// them once and keeping them resident removes redundant PCIe traffic (paper
+// §II-B: "a write-once software cache containing the already transferred
+// 2-D tensors", modeled after MADNESS's CPU-side cache). Entries are never
+// evicted — the paper's cache is write-once — so exceeding device memory is
+// reported as infeasible (the paper's "data per node is too large for the
+// GPU RAM" rows in Tables III/IV).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/diagnostics.hpp"
+
+namespace mh::gpu {
+
+class DeviceCache {
+ public:
+  /// `capacity_bytes`: device memory available to the cache.
+  explicit DeviceCache(double capacity_bytes);
+
+  /// True if the block is already resident (counts a hit); otherwise inserts
+  /// it (counts a miss) and returns false — the caller then schedules the
+  /// transfer. Throws if inserting would exceed capacity.
+  bool lookup_or_insert(std::uint64_t block_id, double bytes);
+
+  /// Non-mutating residency probe (no stats impact).
+  bool resident(std::uint64_t block_id) const {
+    return entries_.contains(block_id);
+  }
+
+  /// Would inserting `bytes` more fit?
+  bool would_fit(double bytes) const noexcept {
+    return used_bytes_ + bytes <= capacity_bytes_;
+  }
+
+  std::size_t entries() const noexcept { return entries_.size(); }
+  double used_bytes() const noexcept { return used_bytes_; }
+  double capacity_bytes() const noexcept { return capacity_bytes_; }
+  std::size_t hits() const noexcept { return hits_; }
+  std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  double capacity_bytes_;
+  double used_bytes_ = 0.0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::unordered_set<std::uint64_t> entries_;
+};
+
+}  // namespace mh::gpu

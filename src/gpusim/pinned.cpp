@@ -1,0 +1,34 @@
+#include "gpusim/pinned.hpp"
+
+#include <cmath>
+
+#include "common/diagnostics.hpp"
+
+namespace mh::gpu {
+
+PinnedBufferPool::PinnedBufferPool(GpuDevice& device, std::size_t slabs,
+                                   double slab_bytes, SimTime start)
+    : device_(device), slabs_(slabs), slab_bytes_(slab_bytes) {
+  MH_CHECK(slabs >= 1, "pool needs at least one slab");
+  MH_CHECK(slab_bytes > 0.0, "slab size must be positive");
+  SimTime t = start;
+  for (std::size_t i = 0; i < slabs; ++i) t = device_.page_lock(t);
+  setup_done_ = t;
+}
+
+SimTime PinnedBufferPool::release(SimTime start) {
+  MH_CHECK(!released_, "pool already released");
+  released_ = true;
+  SimTime t = start;
+  for (std::size_t i = 0; i < slabs_; ++i) t = device_.page_unlock(t);
+  return t;
+}
+
+std::size_t PinnedBufferPool::stage(double bytes) {
+  MH_CHECK(!released_, "pool already released");
+  MH_CHECK(bytes >= 0.0, "negative payload");
+  ++batches_staged_;
+  return static_cast<std::size_t>(std::max(1.0, std::ceil(bytes / slab_bytes_)));
+}
+
+}  // namespace mh::gpu

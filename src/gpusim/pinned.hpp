@@ -1,0 +1,50 @@
+// Pre-allocated page-locked (pinned) host transfer buffers.
+//
+// Page-locking is slow (0.5 ms; unlock 2 ms — comparable to a whole kernel,
+// paper §II-A), so the runtime locks a few large buffers once at startup and
+// reuses them for every batch, instead of locking per transfer. This class
+// models that pool: it charges the lock cost once per slab at construction
+// time and tracks how many aggregate transfers each slab served.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "gpusim/device.hpp"
+
+namespace mh::gpu {
+
+class PinnedBufferPool {
+ public:
+  /// Lock `slabs` buffers of `slab_bytes` each at time `start` on `device`
+  /// (serial page-lock calls). setup_done() reports when the pool is ready.
+  PinnedBufferPool(GpuDevice& device, std::size_t slabs, double slab_bytes,
+                   SimTime start);
+
+  /// Release the pool (serial page-unlock calls); returns completion time.
+  SimTime release(SimTime start);
+
+  SimTime setup_done() const noexcept { return setup_done_; }
+  double slab_bytes() const noexcept { return slab_bytes_; }
+  std::size_t slabs() const noexcept { return slabs_; }
+
+  /// Largest batch payload a single slab can stage.
+  bool fits(double bytes) const noexcept { return bytes <= slab_bytes_; }
+
+  /// Record that a batch of `bytes` was staged through the pool; returns the
+  /// number of slab-sized chunks (each one aggregate transfer).
+  std::size_t stage(double bytes);
+
+  std::size_t batches_staged() const noexcept { return batches_staged_; }
+
+ private:
+  GpuDevice& device_;
+  std::size_t slabs_;
+  double slab_bytes_;
+  SimTime setup_done_;
+  std::size_t batches_staged_ = 0;
+  bool released_ = false;
+};
+
+}  // namespace mh::gpu

@@ -1,0 +1,73 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "common/diagnostics.hpp"
+
+namespace mh::linalg {
+
+QrResult qr(const std::vector<double>& a, std::size_t m, std::size_t n) {
+  MH_CHECK(m >= n && n > 0, "thin QR requires m >= n > 0");
+  MH_CHECK(a.size() == m * n, "matrix size mismatch");
+
+  // Work on a copy; accumulate Householder reflectors, then form thin Q by
+  // applying them to the first n columns of the identity.
+  std::vector<double> work = a;
+  std::vector<std::vector<double>> reflectors;
+  reflectors.reserve(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Build the reflector annihilating work(col+1.., col).
+    double norm2 = 0.0;
+    for (std::size_t i = col; i < m; ++i) {
+      const double x = work[i * n + col];
+      norm2 += x * x;
+    }
+    const double norm = std::sqrt(norm2);
+    std::vector<double> v(m, 0.0);
+    const double x0 = work[col * n + col];
+    const double alpha = (x0 >= 0.0) ? -norm : norm;
+    double vnorm2 = 0.0;
+    if (norm > 0.0) {
+      v[col] = x0 - alpha;
+      for (std::size_t i = col + 1; i < m; ++i) v[i] = work[i * n + col];
+      for (std::size_t i = col; i < m; ++i) vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 > 0.0) {
+      // Apply I - 2 v v^T / (v^T v) to the remaining columns.
+      for (std::size_t j = col; j < n; ++j) {
+        double dot = 0.0;
+        for (std::size_t i = col; i < m; ++i) dot += v[i] * work[i * n + j];
+        const double s = 2.0 * dot / vnorm2;
+        for (std::size_t i = col; i < m; ++i) work[i * n + j] -= s * v[i];
+      }
+    }
+    v.push_back(vnorm2);  // stash |v|^2 in the tail to avoid recomputation
+    reflectors.push_back(std::move(v));
+  }
+
+  QrResult out;
+  out.m = m;
+  out.n = n;
+  out.r.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) out.r[i * n + j] = work[i * n + j];
+
+  // Thin Q = H_0 H_1 ... H_{n-1} * [I_n; 0].
+  out.q.assign(m * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) out.q[j * n + j] = 1.0;
+  for (std::size_t col = n; col-- > 0;) {
+    const auto& v = reflectors[col];
+    const double vnorm2 = v[m];
+    if (vnorm2 <= 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = col; i < m; ++i) dot += v[i] * out.q[i * n + j];
+      const double s = 2.0 * dot / vnorm2;
+      for (std::size_t i = col; i < m; ++i) out.q[i * n + j] -= s * v[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace mh::linalg

@@ -1,0 +1,26 @@
+// Householder QR factorization for small dense matrices.
+//
+// Used by the MRA substrate to orthonormalize the multiwavelet complement
+// space when constructing the two-scale filter matrices, and by tests as an
+// independent check of orthogonality.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mh::linalg {
+
+/// Result of a thin QR of an (m x n) row-major matrix with m >= n:
+/// q is (m x n) with orthonormal columns, r is (n x n) upper triangular,
+/// a = q * r.
+struct QrResult {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::vector<double> q;  // row-major (m x n)
+  std::vector<double> r;  // row-major (n x n)
+};
+
+/// Thin Householder QR. Requires m >= n and a.size() == m*n.
+QrResult qr(const std::vector<double>& a, std::size_t m, std::size_t n);
+
+}  // namespace mh::linalg

@@ -1,0 +1,99 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/diagnostics.hpp"
+
+namespace mh::linalg {
+
+std::size_t SvdResult::rank(double tol) const noexcept {
+  if (s.empty() || s[0] <= 0.0) return 0;
+  const double cut = tol * s[0];
+  std::size_t r = 0;
+  while (r < s.size() && s[r] > cut) ++r;
+  return r;
+}
+
+SvdResult svd(const std::vector<double>& a, std::size_t m, std::size_t n) {
+  MH_CHECK(m >= n && n > 0, "thin SVD requires m >= n > 0");
+  MH_CHECK(a.size() == m * n, "matrix size mismatch");
+
+  // One-sided Jacobi: orthogonalize the columns of a working copy W by plane
+  // rotations; accumulate the rotations into V. On convergence the column
+  // norms of W are the singular values and W/sigma gives U.
+  std::vector<double> w = a;        // (m x n) row-major
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  const double eps = 1e-15;
+  const int max_sweeps = 60;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w[i * n + p];
+          const double wq = w[i * n + q];
+          app += wp * wp;
+          aqq += wq * wq;
+          apq += wp * wq;
+        }
+        if (std::abs(apq) <= eps * std::sqrt(app * aqq)) continue;
+        rotated = true;
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w[i * n + p];
+          const double wq = w[i * n + q];
+          w[i * n + p] = c * wp - s * wq;
+          w[i * n + q] = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v[i * n + p];
+          const double vq = v[i * n + q];
+          v[i * n + p] = c * vp - s * vq;
+          v[i * n + q] = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  SvdResult out;
+  out.m = m;
+  out.n = n;
+  out.s.resize(n);
+  out.u.assign(m * n, 0.0);
+  out.v.assign(n * n, 0.0);
+
+  // Column norms are singular values; sort descending and permute U, V.
+  std::vector<double> norms(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += w[i * n + j] * w[i * n + j];
+    norms[j] = std::sqrt(acc);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return norms[x] > norms[y]; });
+
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = order[jj];
+    const double sj = norms[j];
+    out.s[jj] = sj;
+    if (sj > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) out.u[i * n + jj] = w[i * n + j] / sj;
+    }
+    for (std::size_t i = 0; i < n; ++i) out.v[i * n + jj] = v[i * n + j];
+  }
+  return out;
+}
+
+}  // namespace mh::linalg

@@ -1,0 +1,29 @@
+// One-sided Jacobi SVD for small dense matrices.
+//
+// Used by the ops module to measure the numerical rank of the separated
+// operator matrices h^(mu,dim) — the quantity the paper's rank-reduction
+// optimization (§II-D) exploits — and by property tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mh::linalg {
+
+/// Thin SVD of an (m x n) row-major matrix, m >= n: a = u * diag(s) * v^T
+/// with u (m x n), v (n x n), s descending and non-negative.
+struct SvdResult {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::vector<double> u;  // row-major (m x n)
+  std::vector<double> s;  // length n, descending
+  std::vector<double> v;  // row-major (n x n)
+
+  /// Number of singular values > tol * s[0] (numerical rank).
+  std::size_t rank(double tol) const noexcept;
+};
+
+/// One-sided Jacobi SVD. Requires m >= n and a.size() == m*n.
+SvdResult svd(const std::vector<double>& a, std::size_t m, std::size_t n);
+
+}  // namespace mh::linalg

@@ -1,0 +1,47 @@
+// The first-derivative operator in the multiwavelet basis (the classical
+// Alpert-Beylkin-Gines-Vozovoi construction MADNESS uses for Diff).
+//
+// The basis is discontinuous across boxes, so the derivative is taken in
+// weak form with central fluxes: integrating <phi_i, u'> by parts over one
+// box gives an interior stiffness term plus boundary traces, and each trace
+// is replaced by the average of the two adjacent boxes' one-sided values.
+// That yields three k x k blocks acting on a box and its two face
+// neighbors,
+//
+//   r_l = 2^n (Dm s_{l-1} + D0 s_l + Dp s_{l+1}),
+//
+// with one-sided traces at the domain boundary. On an adaptive tree the
+// flux needs both sides at a common level: where a neighbor is refined
+// deeper, the computation descends to the children (the result tree is the
+// input tree refined as needed).
+#pragma once
+
+#include <cstddef>
+
+#include "mra/function.hpp"
+
+namespace mh::mra {
+
+/// The three derivative blocks for basis size k on the unit box, stored in
+/// transform layout (source index j first): block(j, i) multiplies source
+/// coefficient j into output i. Cached per k, thread-safe.
+struct DerivativeBlocks {
+  std::size_t k = 0;
+  Tensor minus;   ///< coupling to the left (l-1) neighbor
+  Tensor center;  ///< self coupling (interior boxes)
+  Tensor plus;    ///< coupling to the right (l+1) neighbor
+  /// Self-coupling corrections at the domain faces (one-sided traces):
+  /// add to `center` when the box touches the left/right domain boundary.
+  Tensor left_edge_fix;
+  Tensor right_edge_fix;
+};
+
+/// Blocks for basis size k (computed once, cached).
+const DerivativeBlocks& derivative_blocks(std::size_t k);
+
+/// Partial derivative of f along `axis` (0-based), free boundary (one-sided
+/// traces at the domain faces). Requires reconstructed form; the result
+/// lives on f's tree refined wherever face neighbors were deeper.
+Function derivative(const Function& f, std::size_t axis);
+
+}  // namespace mh::mra

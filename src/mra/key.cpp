@@ -1,0 +1,14 @@
+#include "mra/key.hpp"
+
+namespace mh::mra {
+
+std::ostream& operator<<(std::ostream& os, const Key& k) {
+  os << "(n=" << k.level_ << ", l=[";
+  for (std::size_t i = 0; i < k.ndim_; ++i) {
+    if (i) os << ",";
+    os << k.l_[i];
+  }
+  return os << "])";
+}
+
+}  // namespace mh::mra

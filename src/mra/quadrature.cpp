@@ -1,0 +1,61 @@
+#include "mra/quadrature.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <numbers>
+
+#include "common/diagnostics.hpp"
+
+namespace mh::mra {
+namespace {
+
+// Newton iteration on P_n with the Chebyshev-like initial guess; standard
+// Golub-Welsch-free construction, ample for the orders (<= 128) we use.
+QuadratureRule compute_rule(std::size_t order) {
+  MH_CHECK(order >= 1 && order <= 128, "quadrature order out of range");
+  const auto n = static_cast<int>(order);
+  QuadratureRule rule;
+  rule.x.resize(order);
+  rule.w.resize(order);
+
+  for (int i = 0; i < n; ++i) {
+    // Root of P_n on (-1, 1), initial guess from asymptotic formula.
+    double z = std::cos(std::numbers::pi * (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(n) + 0.5));
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate P_n(z) and P_{n-1}(z) by recurrence.
+      double p0 = 1.0, p1 = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double p2 = p1;
+        p1 = p0;
+        p0 = ((2.0 * j + 1.0) * z * p1 - j * p2) / (j + 1.0);
+      }
+      // Derivative via P'_n = n (z P_n - P_{n-1}) / (z^2 - 1).
+      pp = static_cast<double>(n) * (z * p0 - p1) / (z * z - 1.0);
+      const double dz = p0 / pp;
+      z -= dz;
+      if (std::abs(dz) < 1e-15) break;
+    }
+    // Map from [-1, 1] to [0, 1]; nodes come out descending in z, so store
+    // ascending in x.
+    rule.x[static_cast<std::size_t>(n - 1 - i)] = 0.5 * (1.0 + z);
+    rule.w[static_cast<std::size_t>(n - 1 - i)] =
+        1.0 / ((1.0 - z * z) * pp * pp);
+  }
+  return rule;
+}
+
+}  // namespace
+
+const QuadratureRule& gauss_legendre(std::size_t order) {
+  static std::mutex mu;
+  static std::map<std::size_t, QuadratureRule> cache;
+  std::scoped_lock lock(mu);
+  auto it = cache.find(order);
+  if (it == cache.end()) it = cache.emplace(order, compute_rule(order)).first;
+  return it->second;
+}
+
+}  // namespace mh::mra

@@ -1,0 +1,23 @@
+// Gauss-Legendre quadrature on [0, 1].
+//
+// Used to project functions onto the multiwavelet scaling basis, to build
+// the two-scale filter matrices, and to evaluate the Gaussian convolution
+// matrix elements of the Apply operator. An order-q rule integrates
+// polynomials up to degree 2q-1 exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mh::mra {
+
+struct QuadratureRule {
+  std::vector<double> x;  // abscissae in (0, 1)
+  std::vector<double> w;  // weights summing to 1
+};
+
+/// Gauss-Legendre rule of the given order (>= 1) mapped to [0, 1].
+/// Rules are computed once per order and cached; thread-safe.
+const QuadratureRule& gauss_legendre(std::size_t order);
+
+}  // namespace mh::mra

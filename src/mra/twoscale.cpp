@@ -1,0 +1,120 @@
+#include "mra/twoscale.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "mra/legendre.hpp"
+#include "mra/quadrature.hpp"
+
+namespace mh::mra {
+namespace {
+
+// h0[i][j] = <phi^0_{i,0}, phi^1_{j,0}> = (1/sqrt2) int_0^1 phi_i(y/2) phi_j(y) dy
+// h1[i][j] = <phi^0_{i,0}, phi^1_{j,1}> = (1/sqrt2) int_0^1 phi_i((y+1)/2) phi_j(y) dy
+// Integrands are polynomials of degree <= 2k-2, so order-k Gauss is exact.
+void compute_h(std::size_t k, Tensor& h0, Tensor& h1) {
+  const std::size_t order = k + 1;
+  const QuadratureRule& rule = gauss_legendre(order);
+  std::vector<double> pi_half(k), pi_half1(k), pj(k);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  h0 = Tensor({k, k});
+  h1 = Tensor({k, k});
+  for (std::size_t q = 0; q < order; ++q) {
+    const double y = rule.x[q];
+    const double wq = rule.w[q];
+    legendre_scaling(y * 0.5, pi_half);
+    legendre_scaling((y + 1.0) * 0.5, pi_half1);
+    legendre_scaling(y, pj);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        h0.at({i, j}) += inv_sqrt2 * wq * pi_half[i] * pj[j];
+        h1.at({i, j}) += inv_sqrt2 * wq * pi_half1[i] * pj[j];
+      }
+    }
+  }
+}
+
+// Deterministic orthonormal completion of the k rows [h0 h1] to a full
+// orthonormal basis of R^{2k} by modified Gram-Schmidt over canonical
+// vectors taken in order.
+void complete_wavelet_rows(std::size_t k, const Tensor& h0, const Tensor& h1,
+                           Tensor& g0, Tensor& g1) {
+  const std::size_t n = 2 * k;
+  std::vector<std::vector<double>> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::vector<double> r(n);
+    for (std::size_t j = 0; j < k; ++j) {
+      r[j] = h0.at({i, j});
+      r[k + j] = h1.at({i, j});
+    }
+    rows.push_back(std::move(r));
+  }
+  for (std::size_t cand = 0; cand < n && rows.size() < n; ++cand) {
+    std::vector<double> r(n, 0.0);
+    r[cand] = 1.0;
+    // Two rounds of MGS for numerical robustness.
+    for (int round = 0; round < 2; ++round) {
+      for (const auto& u : rows) {
+        double dot = 0.0;
+        for (std::size_t j = 0; j < n; ++j) dot += u[j] * r[j];
+        for (std::size_t j = 0; j < n; ++j) r[j] -= dot * u[j];
+      }
+    }
+    double norm = 0.0;
+    for (double x : r) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm > 1e-10) {
+      for (double& x : r) x /= norm;
+      rows.push_back(std::move(r));
+    }
+  }
+  MH_CHECK(rows.size() == n, "failed to complete wavelet basis");
+  g0 = Tensor({k, k});
+  g1 = Tensor({k, k});
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      g0.at({i, j}) = rows[k + i][j];
+      g1.at({i, j}) = rows[k + i][k + j];
+    }
+  }
+}
+
+TwoScaleCoeffs compute_two_scale(std::size_t k) {
+  MH_CHECK(k >= 1 && k <= 64, "basis size out of range");
+  TwoScaleCoeffs ts;
+  ts.k = k;
+  compute_h(k, ts.h0, ts.h1);
+  complete_wavelet_rows(k, ts.h0, ts.h1, ts.g0, ts.g1);
+
+  const std::size_t n = 2 * k;
+  ts.w = Tensor({n, n});
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      ts.w.at({i, j}) = ts.h0.at({i, j});
+      ts.w.at({i, k + j}) = ts.h1.at({i, j});
+      ts.w.at({k + i, j}) = ts.g0.at({i, j});
+      ts.w.at({k + i, k + j}) = ts.g1.at({i, j});
+    }
+  }
+  ts.wT = Tensor({n, n});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) ts.wT.at({i, j}) = ts.w.at({j, i});
+  return ts;
+}
+
+}  // namespace
+
+const TwoScaleCoeffs& two_scale(std::size_t k) {
+  static std::mutex mu;
+  static std::map<std::size_t, TwoScaleCoeffs> cache;
+  std::scoped_lock lock(mu);
+  auto it = cache.find(k);
+  if (it == cache.end()) it = cache.emplace(k, compute_two_scale(k)).first;
+  return it->second;
+}
+
+}  // namespace mh::mra

@@ -1,0 +1,35 @@
+// Two-scale (filter) relations for the Legendre scaling basis.
+//
+// A parent box's scaling space is contained in the span of its two children:
+//
+//   s_parent[i] = sum_j h0[i][j] s_left[j] + h1[i][j] s_right[j]
+//   d_parent[i] = sum_j g0[i][j] s_left[j] + g1[i][j] s_right[j]
+//
+// The stacked (2k x 2k) matrix W = [[h0 h1], [g0 g1]] is orthogonal. h0/h1
+// are computed by quadrature (exact for polynomials); the wavelet rows g0/g1
+// are a deterministic orthonormal completion — any orthonormal complement
+// gives identical compress/reconstruct/truncate behaviour because wavelet
+// coefficient *norms* are basis-independent within the complement space.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace mh::mra {
+
+struct TwoScaleCoeffs {
+  std::size_t k = 0;
+  Tensor h0, h1, g0, g1;  // each (k x k)
+  Tensor w;               // (2k x 2k): rows 0..k-1 = [h0 h1], k..2k-1 = [g0 g1]
+  Tensor wT;              // transpose of w
+
+  /// Filter: child supertensor -> parent (s in the low corner, d elsewhere).
+  /// Usage: transform(child_coeffs, MatrixView(wT)).
+  /// Unfilter is transform(parent_coeffs, MatrixView(w)).
+};
+
+/// Filter coefficients for basis size k; cached per k, thread-safe.
+const TwoScaleCoeffs& two_scale(std::size_t k);
+
+}  // namespace mh::mra

@@ -1,0 +1,93 @@
+#include "ops/apply.hpp"
+
+#include <array>
+
+#include "common/diagnostics.hpp"
+#include "tensor/transform.hpp"
+
+namespace mh::ops {
+
+std::vector<ApplyTask> make_apply_tasks(const SeparatedConvolution& op,
+                                        const mra::Function& f) {
+  MH_CHECK(!f.compressed(), "apply requires reconstructed input");
+  MH_CHECK(op.params().ndim == f.ndim() && op.params().k == f.k(),
+           "operator/function parameter mismatch");
+  const bool periodic = op.params().periodic;
+  std::vector<ApplyTask> tasks;
+  for (const mra::Key& key : f.leaf_keys()) {
+    const auto& disps = op.displacements(key.level());
+    for (const Displacement& disp : disps) {
+      const std::span<const std::int64_t> d{disp.data(), f.ndim()};
+      mra::Key target;
+      if (periodic) {
+        // Torus: every screened displacement is one periodic image; several
+        // displacements may accumulate into the same (wrapped) target.
+        target = key.neighbor_periodic(d);
+      } else if (!key.neighbor(d, target)) {
+        continue;  // displaced box falls off the grid (free boundary)
+      }
+      tasks.push_back(ApplyTask{key, target, disp});
+    }
+  }
+  return tasks;
+}
+
+Tensor apply_task_compute(const SeparatedConvolution& op, const Tensor& source,
+                          int level, const Displacement& disp,
+                          const ApplyOptions& opts, ApplyStats* stats) {
+  const std::size_t d = op.params().ndim;
+  const std::size_t k = op.params().k;
+  MH_CHECK(source.ndim() == d && source.dim(0) == k, "source shape mismatch");
+
+  const double rr_tol =
+      opts.rank_tol > 0.0 ? opts.rank_tol : op.params().thresh;
+
+  Tensor result = Tensor::cube(d, k);
+  std::array<MatrixView, kMaxTensorDim> mats;
+  // Keep the shared_ptrs alive while the views are in use.
+  std::array<std::shared_ptr<const Tensor>, kMaxTensorDim> blocks;
+
+  for (std::size_t mu = 0; mu < op.rank(); ++mu) {
+    std::size_t kred = k;
+    for (std::size_t dim = 0; dim < d; ++dim) {
+      blocks[dim] = op.h_block(mu, level, disp[dim]);
+      mats[dim] = MatrixView(*blocks[dim]);
+      if (opts.rank_reduce) {
+        kred = std::min(
+            kred, op.reduced_rank(mu, level, disp[dim], rr_tol));
+      }
+    }
+    Tensor contrib =
+        opts.rank_reduce
+            ? general_transform_reduced(source, {mats.data(), d}, kred)
+            : general_transform(source, {mats.data(), d});
+    result.gaxpy(1.0, contrib, op.term_coeff(mu));
+    if (stats != nullptr) {
+      stats->gemms += d;
+      stats->flops += transform_flops(d, k);
+      if (opts.rank_reduce && kred < k) stats->rank_reduced_gemms += d;
+    }
+  }
+  if (stats != nullptr) ++stats->tasks;
+  return result;
+}
+
+mra::Function apply(const SeparatedConvolution& op, const mra::Function& f,
+                    const ApplyOptions& opts, ApplyStats* stats) {
+  const std::vector<ApplyTask> tasks = make_apply_tasks(op, f);
+  mra::Function out(f.params());
+  // Seed the output tree with an (empty) root so sum_down has an anchor even
+  // if no task contributes (e.g. the zero function).
+  out.accumulate(mra::Key::root(f.ndim()),
+                 Tensor::cube(f.ndim(), f.k()));
+  for (const ApplyTask& task : tasks) {
+    const Tensor& s = f.leaf_coeffs(task.source);
+    Tensor r =
+        apply_task_compute(op, s, task.source.level(), task.disp, opts, stats);
+    out.accumulate(task.target, r);
+  }
+  out.sum_down();
+  return out;
+}
+
+}  // namespace mh::ops

@@ -1,0 +1,55 @@
+// The Apply operator (paper Algorithms 1-6): convolve an MRA function with a
+// separated kernel, one task per (source leaf, displacement).
+//
+// This header exposes both the one-call reference CPU implementation and the
+// task decomposition (enumerate -> compute -> accumulate) that the batching
+// runtime, the GPU simulator, and the cluster simulator schedule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mra/function.hpp"
+#include "ops/convolution.hpp"
+
+namespace mh::ops {
+
+/// One Apply task: contribution of one source leaf through one displacement
+/// (paper Algorithm 1's loop body). `target` is source translated by `disp`.
+struct ApplyTask {
+  mra::Key source;
+  mra::Key target;
+  Displacement disp{};
+};
+
+struct ApplyStats {
+  std::size_t tasks = 0;       ///< (leaf, displacement) pairs executed
+  std::size_t gemms = 0;       ///< small matrix multiplies performed
+  double flops = 0.0;          ///< flops of those multiplies
+  std::size_t rank_reduced_gemms = 0;  ///< GEMMs shortened by rank reduction
+};
+
+struct ApplyOptions {
+  bool rank_reduce = false;  ///< paper §II-D CPU optimization
+  double rank_tol = 0.0;     ///< tolerance for rank screening (0: op thresh)
+};
+
+/// Enumerate all tasks of Apply(op, f): every (leaf, screened displacement)
+/// whose target stays on the grid. Requires f reconstructed.
+std::vector<ApplyTask> make_apply_tasks(const SeparatedConvolution& op,
+                                        const mra::Function& f);
+
+/// Compute one task's contribution tensor (Algorithm 5): the Formula 1 sum
+/// over the kernel's separated terms applied to the source coefficients.
+Tensor apply_task_compute(const SeparatedConvolution& op, const Tensor& source,
+                          int level, const Displacement& disp,
+                          const ApplyOptions& opts = {},
+                          ApplyStats* stats = nullptr);
+
+/// Full reference Apply on the CPU (Algorithms 1-2): all tasks executed in
+/// sequence, contributions accumulated, and the result normalized to a
+/// leaf-only tree via sum_down. Requires f reconstructed.
+mra::Function apply(const SeparatedConvolution& op, const mra::Function& f,
+                    const ApplyOptions& opts = {}, ApplyStats* stats = nullptr);
+
+}  // namespace mh::ops

@@ -1,0 +1,48 @@
+// Separated (sum-of-Gaussians) representations of integral kernels.
+//
+// The Apply operator computes a convolution with a radial kernel K(|x-y|).
+// MADNESS expands K as a sum of M Gaussians,
+//
+//   K(r) ~= sum_{mu=1..M} c_mu exp(-b_mu r^2),
+//
+// which factorizes over dimensions — exp(-b r^2) = prod_m exp(-b u_m^2) —
+// giving Formula 1's separated form with one small matrix h^(mu,dim) per
+// term and dimension. Typical M is ~100 (paper §II-B). The fits below use
+// the classical exp-substitution trapezoid quadrature of the integral
+// representations of 1/r and exp(-g r)/r.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mh::ops {
+
+/// One Gaussian term c * exp(-b r^2) of a separated kernel expansion.
+struct SeparatedTerm {
+  double coeff = 0.0;     ///< c_mu
+  double exponent = 0.0;  ///< b_mu > 0
+};
+
+/// A radial kernel with its separated expansion.
+struct SeparatedKernel {
+  std::vector<SeparatedTerm> terms;
+
+  std::size_t rank() const noexcept { return terms.size(); }
+
+  /// Evaluate the expansion at radius r (for accuracy checks).
+  double eval(double r) const noexcept;
+};
+
+/// Fit 1/r on [r_lo, r_hi] to relative accuracy ~eps via
+/// 1/r = (2/sqrt(pi)) * int exp(-r^2 e^{2s} + s) ds, trapezoid in s.
+/// This is the Coulomb kernel of the paper's d=3 application.
+SeparatedKernel fit_coulomb(double eps, double r_lo, double r_hi);
+
+/// Fit the bound-state Helmholtz kernel exp(-gamma r)/r on [r_lo, r_hi]
+/// (the Green's function of (-∇² + gamma²) up to 4π normalization).
+SeparatedKernel fit_bsh(double gamma, double eps, double r_lo, double r_hi);
+
+/// A single Gaussian of the given width: exp(-(r/width)^2), unit coefficient.
+SeparatedKernel single_gaussian(double width);
+
+}  // namespace mh::ops

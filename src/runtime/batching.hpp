@@ -1,0 +1,331 @@
+// Asynchronous batching of compute tasks — the paper's central runtime
+// contribution (§II-A, Figure 3, Algorithms 3-6).
+//
+// A MADNESS algorithm developer splits a compute-intensive task into
+//   preprocess  -> runs immediately on the submitting CPU thread (caller),
+//   compute     -> enqueued here, aggregated per task *kind*, and executed
+//                  in batches split between CPU workers and the GPU,
+//   postprocess -> runs on a CPU worker after compute.
+//
+// Batches are dispatched when a timer expires or a batch reaches its size
+// cap, paying CPU-GPU latency once per batch instead of once per task. The
+// split between CPU and GPU follows the optimal-overlap fraction
+// k* = n/(m+n) (see dispatch.hpp), either fixed by the caller or estimated
+// online from observed per-item rates.
+//
+// The "kind" of a task combines the identity of its compute function with a
+// user-defined hash of the input shape (paper §II-A footnote 2), so that a
+// GPU batch is homogeneous enough to run as one aggregated kernel.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "common/hash.hpp"
+#include "runtime/dispatch.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mh::rt {
+
+using KindId = std::size_t;
+
+template <typename Input, typename Output>
+class BatchingEngine {
+ public:
+  struct Config {
+    std::size_t cpu_threads = 4;
+    /// Fraction of each batch computed on the CPU; negative = auto-tune
+    /// towards k* = n/(m+n) from observed rates.
+    double cpu_fraction = -1.0;
+    /// Batch window: pending computes are dispatched when this expires.
+    std::chrono::milliseconds flush_interval{5};
+    /// Dispatch immediately once a kind has this many pending items.
+    std::size_t max_batch = 256;
+  };
+
+  /// The three developer-supplied pieces of one task kind. compute_gpu may
+  /// be empty (CPU-only kind) and vice versa; postprocess is required.
+  struct KindSpec {
+    std::function<Output(const Input&)> compute_cpu;
+    std::function<std::vector<Output>(std::span<const Input>)> compute_gpu;
+    std::function<void(Output&&)> postprocess;
+    std::uint64_t input_hash = 0;  ///< user-defined input-shape hash
+  };
+
+  struct Stats {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t batches = 0;
+    std::size_t cpu_items = 0;
+    std::size_t gpu_items = 0;
+    std::size_t timer_flushes = 0;
+    std::size_t size_flushes = 0;
+    std::size_t explicit_flushes = 0;
+    std::size_t max_batch_seen = 0;
+  };
+
+  explicit BatchingEngine(Config config)
+      : config_(config),
+        cpu_pool_(std::max<std::size_t>(1, config.cpu_threads)),
+        gpu_driver_(1) {
+    MH_CHECK(config_.max_batch >= 1, "batch cap must be positive");
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  }
+
+  ~BatchingEngine() {
+    try {
+      wait();
+    } catch (...) {
+      // Destructor must not throw; errors were already observable via wait().
+    }
+    {
+      std::scoped_lock lock(mu_);
+      stop_ = true;
+    }
+    dispatch_cv_.notify_all();
+    dispatcher_.join();
+  }
+
+  BatchingEngine(const BatchingEngine&) = delete;
+  BatchingEngine& operator=(const BatchingEngine&) = delete;
+
+  /// Register a task kind; returns its id. Not thread-safe against submit.
+  KindId register_kind(KindSpec spec) {
+    MH_CHECK(spec.postprocess != nullptr, "postprocess is required");
+    MH_CHECK(spec.compute_cpu != nullptr || spec.compute_gpu != nullptr,
+             "kind needs at least one compute implementation");
+    std::scoped_lock lock(mu_);
+    kinds_.push_back(std::make_unique<Kind>(std::move(spec)));
+    return kinds_.size() - 1;
+  }
+
+  /// Paper-style kind hash: identity of the compute function combined with
+  /// the user input hash.
+  std::uint64_t kind_hash(KindId id) const {
+    std::scoped_lock lock(mu_);
+    const Kind& kind = *kinds_.at(id);
+    const std::uint64_t fn_id =
+        kind.spec.compute_cpu
+            ? static_cast<std::uint64_t>(
+                  kind.spec.compute_cpu.target_type().hash_code())
+            : static_cast<std::uint64_t>(
+                  kind.spec.compute_gpu.target_type().hash_code());
+    return hash_combine(fn_id, kind.spec.input_hash);
+  }
+
+  /// Enqueue one compute input (the tail of a preprocess task).
+  void submit(KindId id, Input input) {
+    bool notify = false;
+    {
+      std::scoped_lock lock(mu_);
+      MH_CHECK(!stop_, "engine is shutting down");
+      Kind& kind = *kinds_.at(id);
+      kind.pending.push_back(std::move(input));
+      ++stats_.submitted;
+      if (kind.pending.size() >= config_.max_batch) {
+        kind.size_trigger = true;
+        notify = true;
+      }
+    }
+    if (notify) dispatch_cv_.notify_all();
+  }
+
+  /// Force-dispatch everything pending without waiting for the timer.
+  void flush() {
+    {
+      std::scoped_lock lock(mu_);
+      flush_requested_ = true;
+    }
+    dispatch_cv_.notify_all();
+  }
+
+  /// Flush, then block until every submitted item has been postprocessed.
+  /// Rethrows the first compute/postprocess exception.
+  void wait() {
+    flush();
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [this] {
+      return stats_.completed == stats_.submitted && all_pending_empty();
+    });
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    cpu_pool_.wait_idle();
+    gpu_driver_.wait_idle();
+    if (error) std::rethrow_exception(error);
+  }
+
+  Stats stats() const {
+    std::scoped_lock lock(mu_);
+    return stats_;
+  }
+
+ private:
+  struct Kind {
+    explicit Kind(KindSpec s) : spec(std::move(s)) {}
+    KindSpec spec;
+    std::vector<Input> pending;
+    bool size_trigger = false;
+    RateEstimator cpu_rate;
+    RateEstimator gpu_rate;
+  };
+
+  bool all_pending_empty() const {
+    for (const auto& kind : kinds_) {
+      if (!kind->pending.empty()) return false;
+    }
+    return true;
+  }
+
+  double split_fraction_locked(Kind& kind) const {
+    if (!kind.spec.compute_gpu) return 1.0;
+    if (!kind.spec.compute_cpu) return 0.0;
+    if (config_.cpu_fraction >= 0.0) return config_.cpu_fraction;
+    if (kind.cpu_rate.ready() && kind.gpu_rate.ready() &&
+        kind.cpu_rate.per_item() > 0.0 && kind.gpu_rate.per_item() > 0.0) {
+      // k* = n/(m+n) with m, n proportional to per-item rates.
+      return optimal_cpu_fraction(kind.cpu_rate.per_item(),
+                                  kind.gpu_rate.per_item());
+    }
+    return 0.5;  // cold start: split evenly until rates are known
+  }
+
+  void dispatcher_loop() {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      const bool timed_out = !dispatch_cv_.wait_for(
+          lock, config_.flush_interval, [this] {
+            if (stop_ || flush_requested_) return true;
+            for (const auto& kind : kinds_) {
+              if (kind->size_trigger) return true;
+            }
+            return false;
+          });
+      if (stop_) return;
+      const bool explicit_flush = flush_requested_;
+      flush_requested_ = false;
+      for (auto& kind_ptr : kinds_) {
+        Kind& kind = *kind_ptr;
+        if (kind.pending.empty()) continue;
+        if (explicit_flush) {
+          ++stats_.explicit_flushes;
+        } else if (kind.size_trigger) {
+          ++stats_.size_flushes;
+        } else if (timed_out) {
+          ++stats_.timer_flushes;
+        }
+        kind.size_trigger = false;
+        dispatch_batch_locked(kind);
+      }
+    }
+  }
+
+  void dispatch_batch_locked(Kind& kind) {
+    std::vector<Input> batch = std::move(kind.pending);
+    kind.pending.clear();
+    ++stats_.batches;
+    stats_.max_batch_seen = std::max(stats_.max_batch_seen, batch.size());
+
+    const double k = split_fraction_locked(kind);
+    const std::size_t ncpu = cpu_share(batch.size(), k);
+    stats_.cpu_items += ncpu;
+    stats_.gpu_items += batch.size() - ncpu;
+
+    // GPU side: one aggregated call for the tail of the batch.
+    if (batch.size() > ncpu) {
+      auto gpu_items = std::make_shared<std::vector<Input>>(
+          std::make_move_iterator(batch.begin() +
+                                  static_cast<std::ptrdiff_t>(ncpu)),
+          std::make_move_iterator(batch.end()));
+      Kind* kptr = &kind;
+      gpu_driver_.submit([this, kptr, gpu_items] {
+        std::vector<Output> outs;
+        try {
+          const auto t0 = std::chrono::steady_clock::now();
+          outs = kptr->spec.compute_gpu(
+              std::span<const Input>{gpu_items->data(), gpu_items->size()});
+          const std::chrono::duration<double> dt =
+              std::chrono::steady_clock::now() - t0;
+          MH_CHECK(outs.size() == gpu_items->size(),
+                   "GPU batch must return one output per input");
+          std::scoped_lock lock(mu_);
+          kptr->gpu_rate.record(gpu_items->size(), dt.count());
+        } catch (...) {
+          record_error(std::current_exception());
+          // Account for the whole failed batch so wait() can't deadlock.
+          for (std::size_t i = 0; i < gpu_items->size(); ++i) complete_one();
+          return;
+        }
+        for (Output& out : outs) {
+          auto boxed = std::make_shared<Output>(std::move(out));
+          cpu_pool_.submit([this, kptr, boxed] {
+            try {
+              kptr->spec.postprocess(std::move(*boxed));
+            } catch (...) {
+              record_error(std::current_exception());
+            }
+            complete_one();
+          });
+        }
+      });
+    }
+
+    // CPU side: one worker task per item (they are independent MADNESS
+    // tasks; the pool spreads them over the cpu_threads workers).
+    for (std::size_t i = 0; i < ncpu; ++i) {
+      auto boxed = std::make_shared<Input>(std::move(batch[i]));
+      Kind* kptr = &kind;
+      cpu_pool_.submit([this, kptr, boxed] {
+        try {
+          const auto t0 = std::chrono::steady_clock::now();
+          Output out = kptr->spec.compute_cpu(*boxed);
+          const std::chrono::duration<double> dt =
+              std::chrono::steady_clock::now() - t0;
+          {
+            std::scoped_lock lock(mu_);
+            kptr->cpu_rate.record(1, dt.count());
+          }
+          kptr->spec.postprocess(std::move(out));
+        } catch (...) {
+          record_error(std::current_exception());
+        }
+        complete_one();
+      });
+    }
+  }
+
+  void complete_one() {
+    std::scoped_lock lock(mu_);
+    ++stats_.completed;
+    if (stats_.completed == stats_.submitted) done_cv_.notify_all();
+  }
+
+  void record_error(std::exception_ptr e) {
+    std::scoped_lock lock(mu_);
+    if (!first_error_) first_error_ = e;
+  }
+
+  Config config_;
+  mutable std::mutex mu_;
+  std::condition_variable dispatch_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::unique_ptr<Kind>> kinds_;
+  Stats stats_;
+  std::exception_ptr first_error_;
+  bool flush_requested_ = false;
+  bool stop_ = false;
+
+  ThreadPool cpu_pool_;
+  ThreadPool gpu_driver_;  // serializes "GPU" batch calls like one device
+  std::thread dispatcher_;
+};
+
+}  // namespace mh::rt

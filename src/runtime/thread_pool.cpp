@@ -1,0 +1,76 @@
+#include "runtime/thread_pool.hpp"
+
+#include "common/diagnostics.hpp"
+
+namespace mh::rt {
+
+ThreadPool::ThreadPool(std::size_t nthreads) {
+  MH_CHECK(nthreads >= 1, "pool needs at least one worker");
+  workers_.reserve(nthreads);
+  for (std::size_t i = 0; i < nthreads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MH_CHECK(task != nullptr, "null task");
+  {
+    std::scoped_lock lock(mu_);
+    MH_CHECK(!stop_, "pool is shutting down");
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+std::size_t ThreadPool::executed() const {
+  std::scoped_lock lock(mu_);
+  return executed_;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::scoped_lock lock(mu_);
+      --active_;
+      ++executed_;
+      if (error && !first_error_) first_error_ = error;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace mh::rt

@@ -1,0 +1,56 @@
+// A fixed-size worker pool — the "CPU threads" of the paper's runtime.
+//
+// MADNESS tasks are many and small; the pool is a plain mutex+condvar queue,
+// which is plenty here because the heavy lifting (aggregation, batching)
+// happens above it in the BatchingEngine. The first exception thrown by any
+// task is captured and re-thrown from wait_idle(), so tests and callers see
+// task failures instead of silent drops.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mh::rt {
+
+class ThreadPool {
+ public:
+  /// Start `nthreads` workers (>= 1).
+  explicit ThreadPool(std::size_t nthreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Safe to call from worker threads (tasks may spawn
+  /// tasks). Throws if the pool is shutting down.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle, then rethrow
+  /// the first task exception, if any.
+  void wait_idle();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+  /// Total tasks completed (including ones that threw).
+  std::size_t executed() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for tasks
+  std::condition_variable idle_cv_;   // wait_idle waits here
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  std::size_t executed_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace mh::rt

@@ -1,0 +1,109 @@
+// Dense n-dimensional tensor of doubles.
+//
+// The MRA tree stores one k^d coefficient tensor per node (paper §I-A); the
+// Apply operator treats it as a highly rectangular (k^{d-1}, k) matrix when
+// multiplying by the 2-D operator matrices h. This class is deliberately
+// simple: contiguous row-major storage, value semantics, no expression
+// templates — the heavy lifting happens in linalg kernels.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+
+namespace mh {
+
+/// Maximum tensor order supported (paper uses d = 3 and d = 4).
+inline constexpr std::size_t kMaxTensorDim = 6;
+
+class Tensor {
+ public:
+  /// Empty tensor (ndim 0, size 0).
+  Tensor() = default;
+
+  /// Zero-initialized tensor with the given shape (1..kMaxTensorDim dims).
+  explicit Tensor(std::span<const std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::span<const std::size_t>{shape.begin(), shape.size()}) {}
+
+  /// A d-dimensional hypercube tensor of extent k per dimension.
+  static Tensor cube(std::size_t d, std::size_t k);
+
+  std::size_t ndim() const noexcept { return ndim_; }
+  std::size_t dim(std::size_t i) const {
+    MH_CHECK(i < ndim_, "dim index out of range");
+    return shape_[i];
+  }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  std::span<const std::size_t> shape() const noexcept {
+    return {shape_.data(), ndim_};
+  }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+  std::span<double> flat() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const double> flat() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  double& operator[](std::size_t i) {
+    MH_DBG_ASSERT(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    MH_DBG_ASSERT(i < data_.size());
+    return data_[i];
+  }
+
+  /// Multi-index element access, e.g. t.at({i, j, k}).
+  double& at(std::span<const std::size_t> idx) { return data_[offset(idx)]; }
+  double at(std::span<const std::size_t> idx) const {
+    return data_[offset(idx)];
+  }
+  double& at(std::initializer_list<std::size_t> idx) {
+    return at(std::span<const std::size_t>{idx.begin(), idx.size()});
+  }
+  double at(std::initializer_list<std::size_t> idx) const {
+    return const_cast<Tensor*>(this)->at(idx);
+  }
+
+  void fill(double v) noexcept;
+  void zero() noexcept { fill(0.0); }
+  Tensor& scale(double s) noexcept;
+  /// this = alpha*this + beta*other (shapes must match).
+  Tensor& gaxpy(double alpha, const Tensor& other, double beta);
+  Tensor& operator+=(const Tensor& other) { return gaxpy(1.0, other, 1.0); }
+  Tensor& operator-=(const Tensor& other) { return gaxpy(1.0, other, -1.0); }
+
+  /// Frobenius norm.
+  double normf() const noexcept;
+  /// Largest absolute entry.
+  double abs_max() const noexcept;
+  /// Sum of all entries.
+  double sum() const noexcept;
+
+  /// Same data reinterpreted with a new shape of equal total size.
+  Tensor reshaped(std::span<const std::size_t> shape) const;
+  Tensor reshaped(std::initializer_list<std::size_t> shape) const {
+    return reshaped(std::span<const std::size_t>{shape.begin(), shape.size()});
+  }
+
+  friend bool operator==(const Tensor& a, const Tensor& b) noexcept;
+
+ private:
+  std::size_t offset(std::span<const std::size_t> idx) const;
+
+  std::size_t ndim_ = 0;
+  std::array<std::size_t, kMaxTensorDim> shape_{};
+  std::vector<double> data_;
+};
+
+/// Elementwise maximum absolute difference; shapes must match.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace mh

@@ -1,0 +1,91 @@
+#include "tensor/transform.hpp"
+
+#include <array>
+
+#include "linalg/gemm.hpp"
+
+namespace mh {
+namespace {
+
+// Shape of inner_first's result: trailing dims of t shifted forward, then
+// the operator's column count appended.
+Tensor make_cycled_result(const Tensor& t, std::size_t cols) {
+  std::array<std::size_t, kMaxTensorDim> shape{};
+  const std::size_t d = t.ndim();
+  for (std::size_t i = 1; i < d; ++i) shape[i - 1] = t.dim(i);
+  shape[d - 1] = cols;
+  return Tensor(std::span<const std::size_t>{shape.data(), d});
+}
+
+Tensor inner_first_impl(const Tensor& t, MatrixView c, std::size_t kred) {
+  MH_CHECK(t.ndim() >= 1 && !t.empty(), "inner_first on empty tensor");
+  MH_CHECK(t.dim(0) == c.rows, "contraction extent mismatch");
+  const std::size_t k = t.dim(0);
+  const std::size_t rest = t.size() / k;
+
+  if (t.ndim() == 1) {
+    // Vector case: r(i) = sum_j t(j) c(j, i).
+    Tensor r({c.cols});
+    if (kred >= k) {
+      linalg::mTxm(1, c.cols, k, r.data(), t.data(), c.ptr);
+    } else {
+      linalg::mTxm_reduced(1, c.cols, k, kred, r.data(), t.data(), c.ptr);
+    }
+    return r;
+  }
+
+  // t viewed as (k, rest): r(rest, i) = sum_j t(j, rest) c(j, i) = t^T c.
+  Tensor r = make_cycled_result(t, c.cols);
+  if (kred >= k) {
+    linalg::mTxm(rest, c.cols, k, r.data(), t.data(), c.ptr);
+  } else {
+    linalg::mTxm_reduced(rest, c.cols, k, kred, r.data(), t.data(), c.ptr);
+  }
+  return r;
+}
+
+}  // namespace
+
+Tensor inner_first(const Tensor& t, MatrixView c) {
+  return inner_first_impl(t, c, t.dim(0));
+}
+
+Tensor transform(const Tensor& t, MatrixView c) {
+  Tensor r = t;
+  for (std::size_t mode = 0; mode < t.ndim(); ++mode) {
+    r = inner_first_impl(r, c, r.dim(0));
+  }
+  return r;
+}
+
+Tensor general_transform(const Tensor& t, std::span<const MatrixView> mats) {
+  MH_CHECK(mats.size() == t.ndim(), "one operator matrix per mode required");
+  Tensor r = t;
+  for (std::size_t mode = 0; mode < t.ndim(); ++mode) {
+    r = inner_first_impl(r, mats[mode], r.dim(0));
+  }
+  return r;
+}
+
+Tensor general_transform_reduced(const Tensor& t,
+                                 std::span<const MatrixView> mats,
+                                 std::size_t kred) {
+  MH_CHECK(mats.size() == t.ndim(), "one operator matrix per mode required");
+  Tensor r = t;
+  for (std::size_t mode = 0; mode < t.ndim(); ++mode) {
+    // After the first contraction the leading index is an *output* index of
+    // an earlier mode; screening applies to the contracted (input) index
+    // only, which is always index 0 of the current intermediate.
+    r = inner_first_impl(r, mats[mode], kred);
+  }
+  return r;
+}
+
+double transform_flops(std::size_t d, std::size_t k) noexcept {
+  double rest = 1.0;
+  for (std::size_t i = 1; i < d; ++i) rest *= static_cast<double>(k);
+  return static_cast<double>(d) * linalg::gemm_flops(
+      static_cast<std::size_t>(rest), k, k);
+}
+
+}  // namespace mh

@@ -1,0 +1,79 @@
+#include "world/world.hpp"
+
+#include "common/diagnostics.hpp"
+
+namespace mh::world {
+
+World::World(std::size_t ranks) {
+  MH_CHECK(ranks >= 1, "world needs at least one rank");
+  pools_.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    pools_.push_back(std::make_unique<rt::ThreadPool>(1));
+  }
+}
+
+World::~World() {
+  try {
+    fence();
+  } catch (...) {
+    // Errors were observable through fence(); the destructor must not throw.
+  }
+}
+
+void World::enqueue(std::size_t rank, std::function<void()> fn) {
+  MH_CHECK(rank < pools_.size(), "rank out of range");
+  MH_CHECK(fn != nullptr, "null task");
+  {
+    std::scoped_lock lock(mu_);
+    ++outstanding_;
+  }
+  pools_[rank]->submit([this, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (...) {
+      std::scoped_lock lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    complete_one();
+  });
+}
+
+void World::complete_one() {
+  std::scoped_lock lock(mu_);
+  ++stats_.tasks;
+  MH_CHECK(outstanding_ > 0, "completion underflow");
+  if (--outstanding_ == 0) quiescent_.notify_all();
+}
+
+void World::submit(std::size_t rank, std::function<void()> task) {
+  enqueue(rank, std::move(task));
+}
+
+void World::send(std::size_t from, std::size_t to, double bytes,
+                 std::function<void()> handler) {
+  MH_CHECK(from < pools_.size(), "source rank out of range");
+  MH_CHECK(bytes >= 0.0, "negative payload");
+  if (from != to) {
+    std::scoped_lock lock(mu_);
+    ++stats_.messages;
+    stats_.bytes += bytes;
+  }
+  enqueue(to, std::move(handler));
+}
+
+void World::fence() {
+  std::unique_lock lock(mu_);
+  quiescent_.wait(lock, [this] { return outstanding_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+World::Stats World::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace mh::world

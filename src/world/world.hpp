@@ -1,0 +1,67 @@
+// A MADNESS-style "World": multiple simulated ranks in one process, each
+// with its own worker thread, communicating via active messages.
+//
+// MADNESS programs are structured as tasks submitted to the local rank plus
+// active messages that run a handler on a remote rank (that is how the
+// distributed tree's accumulate works). This class gives those semantics
+// with real threads: a task or AM handler always executes on the target
+// rank's thread, so per-rank data needs no locking — the same discipline a
+// real MPI+AM MADNESS run enforces. fence() is the global quiescence
+// barrier (cf. world.gop.fence()).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace mh::world {
+
+class World {
+ public:
+  explicit World(std::size_t ranks);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  std::size_t ranks() const noexcept { return pools_.size(); }
+
+  /// Run `task` on `rank`'s thread. Callable from any thread (including
+  /// other ranks' tasks — that is just an active message without payload
+  /// accounting).
+  void submit(std::size_t rank, std::function<void()> task);
+
+  /// Active message: run `handler` on rank `to`, accounting `bytes` of
+  /// payload from rank `from`. Local sends (from == to) are free.
+  void send(std::size_t from, std::size_t to, double bytes,
+            std::function<void()> handler);
+
+  /// Block until every task and active message (including ones spawned
+  /// transitively) has executed. Rethrows the first task error.
+  void fence();
+
+  struct Stats {
+    std::size_t tasks = 0;      ///< tasks + handlers executed
+    std::size_t messages = 0;   ///< remote sends
+    double bytes = 0.0;         ///< payload bytes of remote sends
+  };
+  Stats stats() const;
+
+ private:
+  void enqueue(std::size_t rank, std::function<void()> fn);
+  void complete_one();
+
+  std::vector<std::unique_ptr<rt::ThreadPool>> pools_;
+  mutable std::mutex mu_;
+  std::condition_variable quiescent_;
+  std::size_t outstanding_ = 0;
+  Stats stats_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mh::world

@@ -1,0 +1,37 @@
+// Distributed Compress: the second of the paper's four MADNESS operators
+// (§I: "Apply, Compress, Reconstruct and Truncate"), in distributed form.
+//
+// Compress walks the tree bottom-up: each leaf's scaling block travels to
+// its parent's owner; when a parent has all 2^d child blocks it filters
+// them (two-scale), keeps the wavelet part as its compressed payload, and
+// forwards the scaling part one level up. Every hop across ranks is an
+// active message — the communication pattern is the process map's tree
+// locality, exactly what the paper's locality maps are designed to shrink.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "dht/distributed_function.hpp"
+#include "world/world.hpp"
+
+namespace mh::world {
+
+/// The distributed compressed tree: per-rank shards of (2k)^d supertensors
+/// at interior keys (the root's low corner carries the top scaling block;
+/// other corners are zero, as in Function's compressed form).
+struct DistributedCompressed {
+  mra::FunctionParams params;
+  std::vector<std::unordered_map<mra::Key, Tensor, mra::KeyHash>> shards;
+
+  /// All nodes gathered into one map (rank 0's view after a gather).
+  std::unordered_map<mra::Key, Tensor, mra::KeyHash> gather() const;
+};
+
+/// Compress the scattered function bottom-up on the world's rank threads.
+/// Fences internally. Requires every interior node of the original tree to
+/// have its full 2^d children (true for projected trees).
+DistributedCompressed world_compress(World& world,
+                                     const dht::DistributedFunction& f);
+
+}  // namespace mh::world

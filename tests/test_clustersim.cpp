@@ -1,0 +1,277 @@
+// Tests for src/clustersim: the CPU cost model, process maps, workload
+// generators, and the cluster-level Apply simulation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "clustersim/cluster.hpp"
+#include "clustersim/cpu_model.hpp"
+#include "clustersim/process_map.hpp"
+#include "clustersim/workload.hpp"
+#include "common/diagnostics.hpp"
+#include "runtime/dispatch.hpp"
+
+namespace mh::cluster {
+namespace {
+
+const gpu::ApplyTaskShape kSmall3d{3, 10, 100};
+const gpu::ApplyTaskShape kBig3d{3, 30, 100};
+const gpu::ApplyTaskShape kTdse4d{4, 14, 100};
+
+TEST(CpuModel, PerCoreRateDeclinesWithWorkingSet) {
+  const CpuSpec spec = CpuSpec::titan_interlagos();
+  EXPECT_GT(per_core_rate(spec, kSmall3d), per_core_rate(spec, kBig3d));
+  EXPECT_GT(per_core_rate(spec, kSmall3d), per_core_rate(spec, kTdse4d));
+  // Small 3-D tensors run near the hand-tuned 6 GFLOPS/core figure.
+  EXPECT_GT(per_core_rate(spec, kSmall3d), 4.0e9);
+  EXPECT_LE(per_core_rate(spec, kSmall3d), 6.0e9);
+}
+
+TEST(CpuModel, TaskTimeScalesWithFlopsAndRankFraction) {
+  const CpuSpec spec = CpuSpec::titan_interlagos();
+  const SimTime full = cpu_task_time(spec, kSmall3d);
+  EXPECT_GT(full.sec(), 0.0);
+  const SimTime reduced = cpu_task_time(spec, kSmall3d, 0.4);
+  EXPECT_NEAR(reduced.sec(), 0.4 * full.sec(), 1e-15);
+  EXPECT_THROW(cpu_task_time(spec, kSmall3d, 0.0), Error);
+  EXPECT_THROW(cpu_task_time(spec, kSmall3d, 1.5), Error);
+}
+
+TEST(CpuModel, ThreadScalingIsSublinearButReal) {
+  const CpuSpec spec = CpuSpec::titan_interlagos();
+  const double s1 = thread_speedup(spec, kSmall3d, 1);
+  const double s2 = thread_speedup(spec, kSmall3d, 2);
+  const double s16 = thread_speedup(spec, kSmall3d, 16);
+  EXPECT_NEAR(s1, 1.0, 1e-12);
+  EXPECT_GT(s2, 1.7);
+  EXPECT_LT(s2, 2.0 + 1e-12);
+  EXPECT_GT(s16, 5.0);   // Table I: ~6.7x at 16 threads
+  EXPECT_LT(s16, 9.0);
+  EXPECT_GT(s16, thread_speedup(spec, kSmall3d, 8));
+}
+
+TEST(CpuModel, LargeWorkingSetSaturatesAroundTenThreads) {
+  const CpuSpec spec = CpuSpec::titan_interlagos();
+  // k = 30 working set overflows the aggregate L2 (Table V discussion).
+  const double s10 = thread_speedup(spec, kBig3d, 10);
+  const double s16 = thread_speedup(spec, kBig3d, 16);
+  EXPECT_NEAR(s10, s16, 1e-12);  // no benefit past the saturation cap
+  // The small shape keeps scaling to 16.
+  EXPECT_GT(thread_speedup(spec, kSmall3d, 16),
+            thread_speedup(spec, kSmall3d, 10));
+}
+
+TEST(CpuModel, BatchQuantizationPenalizesTinyBatches) {
+  const CpuSpec spec = CpuSpec::titan_interlagos();
+  const SimTime t1 = cpu_batch_time(spec, kSmall3d, 1, 16);
+  const SimTime t16 = cpu_batch_time(spec, kSmall3d, 16, 16);
+  // One task on 16 threads still costs one full (contended) round: the
+  // other 15 cores idle.
+  EXPECT_NEAR(t1.sec(), t16.sec(), 1e-12);
+  // Full batches amortize: 160 tasks = 10 rounds.
+  const SimTime t160 = cpu_batch_time(spec, kSmall3d, 160, 16);
+  EXPECT_NEAR(t160.sec(), 10.0 * t16.sec(), 1e-12);
+  EXPECT_DOUBLE_EQ(cpu_batch_time(spec, kSmall3d, 0, 16).sec(), 0.0);
+}
+
+TEST(ProcessMap, EvenMapDistributesWithRemainder) {
+  const NodeLoads loads = even_map(10, 4);
+  EXPECT_EQ(loads.size(), 4u);
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::size_t{0}), 10u);
+  EXPECT_EQ(*std::max_element(loads.begin(), loads.end()), 3u);
+  EXPECT_EQ(*std::min_element(loads.begin(), loads.end()), 2u);
+  EXPECT_NEAR(imbalance(loads), 3.0 / 2.5, 1e-12);
+}
+
+TEST(ProcessMap, LocalityMapPreservesTotalsButIsUneven) {
+  const auto groups = power_law_groups(10000, 24, 1.0, 42);
+  const NodeLoads loads = locality_map(groups, 8, 7);
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::size_t{0}), 10000u);
+  EXPECT_GT(imbalance(loads), 1.1);  // visibly uneven
+}
+
+TEST(ProcessMap, FewGroupsStarveSomeNodes) {
+  // 6 subtree groups on 8 nodes: at least two nodes get nothing — the
+  // paper's "not enough work to distribute to 8 compute nodes".
+  const std::vector<std::size_t> groups(6, 100);
+  const NodeLoads loads = locality_map(groups, 8, 3);
+  const std::size_t empty =
+      static_cast<std::size_t>(std::count(loads.begin(), loads.end(), 0u));
+  EXPECT_GE(empty, 2u);
+}
+
+TEST(ProcessMap, LptMapBeatsHashedLocalityOnImbalance) {
+  const auto groups = power_law_groups(20000, 64, 1.0, 9);
+  const NodeLoads hashed = locality_map(groups, 16, 9);
+  const NodeLoads lpt = lpt_map(groups, 16);
+  std::size_t total = 0;
+  for (std::size_t l : lpt) total += l;
+  EXPECT_EQ(total, 20000u);
+  EXPECT_LT(imbalance(lpt), imbalance(hashed));
+  // LPT is within 4/3 of optimal for identical machines (Graham's bound);
+  // with one dominant group the bound is the group itself.
+  const std::size_t biggest = *std::max_element(groups.begin(), groups.end());
+  const double ideal = 20000.0 / 16.0;
+  EXPECT_LE(imbalance(lpt),
+            std::max(4.0 / 3.0 + 1e-9, static_cast<double>(biggest) / ideal));
+}
+
+TEST(ProcessMap, LptHandlesFewerGroupsThanNodes) {
+  const std::vector<std::size_t> groups{100, 50, 25};
+  const NodeLoads loads = lpt_map(groups, 8);
+  EXPECT_EQ(*std::max_element(loads.begin(), loads.end()), 100u);
+  EXPECT_EQ(std::count(loads.begin(), loads.end(), 0u), 5);
+}
+
+TEST(ProcessMap, ImbalanceOfUniformIsOne) {
+  EXPECT_NEAR(imbalance(NodeLoads(5, 7)), 1.0, 1e-12);
+  EXPECT_NEAR(imbalance(NodeLoads(3, 0)), 1.0, 1e-12);  // degenerate: all 0
+}
+
+TEST(Workload, PowerLawGroupsSumAndSkew) {
+  const auto sizes = power_law_groups(5000, 40, 1.2, 11);
+  EXPECT_EQ(sizes.size(), 40u);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}), 5000u);
+  for (std::size_t s : sizes) EXPECT_GE(s, 1u);
+  // Heavier skew (smaller exponent) produces a bigger largest group.
+  const auto heavy = power_law_groups(5000, 40, 0.6, 11);
+  EXPECT_GT(*std::max_element(heavy.begin(), heavy.end()),
+            *std::max_element(sizes.begin(), sizes.end()));
+}
+
+TEST(Workload, MakeWorkloadPopulatesFields) {
+  const Workload w = make_workload("test", kSmall3d, 1000, 16, 1.0, 5);
+  EXPECT_EQ(w.tasks, 1000u);
+  EXPECT_EQ(w.group_sizes.size(), 16u);
+  EXPECT_GT(w.unique_h_blocks, 0u);
+  EXPECT_GT(w.gpu_bytes_per_task, 0.0);
+  EXPECT_EQ(estimate_unique_blocks(100, 10, 4), 100u * 10u * 9u);
+}
+
+ClusterConfig base_config(std::size_t nodes, ComputeMode mode) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.mode = mode;
+  cfg.gpu.cublas_aggregate = true;
+  return cfg;
+}
+
+TEST(Cluster, CpuOnlyScalesWithNodesUnderEvenMap) {
+  const Workload w = make_workload("c", kSmall3d, 20000, 64, 1.0, 1);
+  const auto r2 = run_cluster_apply(w, even_map(w.tasks, 2),
+                                    base_config(2, ComputeMode::kCpuOnly));
+  const auto r8 = run_cluster_apply(w, even_map(w.tasks, 8),
+                                    base_config(8, ComputeMode::kCpuOnly));
+  ASSERT_TRUE(r2.feasible);
+  ASSERT_TRUE(r8.feasible);
+  const double speedup = r2.makespan / r8.makespan;
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LT(speedup, 4.5);
+}
+
+TEST(Cluster, HybridBeatsBothPureModes) {
+  const Workload w = make_workload("h", kSmall3d, 6000, 64, 1.0, 2);
+  const auto loads = even_map(w.tasks, 4);
+  auto cpu_cfg = base_config(4, ComputeMode::kCpuOnly);
+  auto gpu_cfg = base_config(4, ComputeMode::kGpuOnly);
+  auto hyb_cfg = base_config(4, ComputeMode::kHybrid);
+  hyb_cfg.cpu_compute_threads = 15;  // one core drives the GPU
+  const auto cpu = run_cluster_apply(w, loads, cpu_cfg);
+  const auto gpu = run_cluster_apply(w, loads, gpu_cfg);
+  const auto hyb = run_cluster_apply(w, loads, hyb_cfg);
+  ASSERT_TRUE(cpu.feasible && gpu.feasible && hyb.feasible);
+  EXPECT_LT(hyb.makespan.sec(), cpu.makespan.sec());
+  EXPECT_LT(hyb.makespan.sec(), gpu.makespan.sec());
+}
+
+TEST(Cluster, GpuMemoryFeasibilityGate) {
+  Workload w = make_workload("m", kSmall3d, 100000, 64, 1.0, 3);
+  w.gpu_bytes_per_task = 1e6;  // 100 GB total: far beyond one device
+  auto cfg = base_config(1, ComputeMode::kGpuOnly);
+  const auto r = run_cluster_apply(w, even_map(w.tasks, 1), cfg);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.note.find("GPU RAM"), std::string::npos);
+  // Spreading over enough nodes makes it feasible again.
+  auto cfg32 = base_config(32, ComputeMode::kGpuOnly);
+  const auto r32 = run_cluster_apply(w, even_map(w.tasks, 32), cfg32);
+  EXPECT_TRUE(r32.feasible);
+  // CPU-only mode ignores the GPU limit.
+  auto cpu_cfg = base_config(1, ComputeMode::kCpuOnly);
+  EXPECT_TRUE(run_cluster_apply(w, even_map(w.tasks, 1), cpu_cfg).feasible);
+}
+
+TEST(Cluster, LocalityMapIsSlowerThanEvenMap) {
+  const Workload w = make_workload("l", kSmall3d, 30000, 48, 0.8, 4);
+  auto cfg = base_config(8, ComputeMode::kCpuOnly);
+  const auto even = run_cluster_apply(w, even_map(w.tasks, 8), cfg);
+  const auto local =
+      run_cluster_apply(w, locality_map(w.group_sizes, 8, 4), cfg);
+  EXPECT_GT(local.makespan.sec(), even.makespan.sec());
+  EXPECT_GT(local.load_imbalance, even.load_imbalance);
+}
+
+TEST(Cluster, SaturationWhenGroupsRunOut) {
+  // With only 8 subtree groups, going from 6 to 12 nodes barely helps —
+  // Table V's flat 6 -> 8 node row.
+  const Workload w = make_workload("s", kBig3d, 4000, 8, 1.0, 5);
+  auto cfg6 = base_config(6, ComputeMode::kCpuOnly);
+  auto cfg12 = base_config(12, ComputeMode::kCpuOnly);
+  const auto r6 = run_cluster_apply(w, locality_map(w.group_sizes, 6, 9), cfg6);
+  const auto r12 =
+      run_cluster_apply(w, locality_map(w.group_sizes, 12, 9), cfg12);
+  EXPECT_LT(r6.makespan / r12.makespan, 1.5);
+}
+
+TEST(Cluster, NodeRunTimeZeroTasksIsZero) {
+  const Workload w = make_workload("z", kSmall3d, 100, 4, 1.0, 6);
+  EXPECT_DOUBLE_EQ(
+      node_run_time(w, 0, base_config(1, ComputeMode::kHybrid)).sec(), 0.0);
+}
+
+TEST(Cluster, CommunicationAddsToMakespan) {
+  Workload w = make_workload("comm", kSmall3d, 10000, 32, 1.0, 7);
+  auto cfg = base_config(4, ComputeMode::kCpuOnly);
+  w.remote_fraction = 0.0;
+  const auto quiet = run_cluster_apply(w, even_map(w.tasks, 4), cfg);
+  w.remote_fraction = 0.5;
+  const auto chatty = run_cluster_apply(w, even_map(w.tasks, 4), cfg);
+  EXPECT_GT(chatty.makespan.sec(), quiet.makespan.sec());
+  EXPECT_GT(chatty.slowest_node_comm.sec(), 0.0);
+}
+
+TEST(Cluster, HybridExplicitFractionMatchesOptimalFormula) {
+  // With a fixed split k the per-batch time is max(m k, n (1-k)); sweep k
+  // and verify the model's best is near k* = n/(m+n).
+  const Workload w = make_workload("opt", kSmall3d, 600, 8, 1.0, 8);
+  auto cfg = base_config(1, ComputeMode::kHybrid);
+  cfg.cpu_compute_threads = 15;
+
+  auto cpu_cfg = base_config(1, ComputeMode::kCpuOnly);
+  cpu_cfg.cpu_compute_threads = 15;
+  auto gpu_cfg = base_config(1, ComputeMode::kGpuOnly);
+  const double m = node_run_time(w, w.tasks, cpu_cfg).sec();
+  const double n = node_run_time(w, w.tasks, gpu_cfg).sec();
+  const double kstar = rt::optimal_cpu_fraction(m, n);
+
+  double best_k = -1.0, best_t = 1e300;
+  for (double k = 0.05; k < 1.0; k += 0.05) {
+    cfg.cpu_fraction = k;
+    const double t = node_run_time(w, w.tasks, cfg).sec();
+    if (t < best_t) {
+      best_t = t;
+      best_k = k;
+    }
+  }
+  EXPECT_NEAR(best_k, kstar, 0.15);
+}
+
+TEST(Cluster, RejectsMismatchedLoadVector) {
+  const Workload w = make_workload("bad", kSmall3d, 100, 4, 1.0, 9);
+  EXPECT_THROW(
+      run_cluster_apply(w, even_map(100, 3), base_config(4, ComputeMode::kCpuOnly)),
+      Error);
+}
+
+}  // namespace
+}  // namespace mh::cluster

@@ -1,0 +1,171 @@
+// Tests for the ABGV weak derivative (mra/derivative.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/diagnostics.hpp"
+#include "common/rng.hpp"
+#include "mra/derivative.hpp"
+#include "mra/function.hpp"
+
+namespace mh::mra {
+namespace {
+
+TEST(DerivativeBlocks, AnnihilateConstants) {
+  // d/dx of a constant is zero: the row sums (Dm + D0 + Dp) against the
+  // constant basis vector vanish.
+  const auto& b = derivative_blocks(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double total =
+        b.minus.at({0, i}) + b.center.at({0, i}) + b.plus.at({0, i});
+    EXPECT_NEAR(total, 0.0, 1e-12) << "i=" << i;
+  }
+}
+
+TEST(DerivativeBlocks, CachedPerK) {
+  const auto& a = derivative_blocks(5);
+  const auto& b = derivative_blocks(5);
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW(derivative_blocks(1), Error);
+}
+
+FunctionParams params1d(std::size_t k, double thresh, int init, int maxl) {
+  FunctionParams p;
+  p.ndim = 1;
+  p.k = k;
+  p.thresh = thresh;
+  p.initial_level = init;
+  p.max_level = maxl;
+  return p;
+}
+
+TEST(Derivative, PolynomialExactOnUniformTree) {
+  // d/dx (1 - 2x + 3x^2 + x^4) = -2 + 6x + 4x^3, degree 3 < k: exact,
+  // including the one-sided domain boundary handling.
+  auto poly = [](std::span<const double> x) {
+    const double t = x[0];
+    return 1.0 - 2.0 * t + 3.0 * t * t + t * t * t * t;
+  };
+  auto dpoly = [](double t) { return -2.0 + 6.0 * t + 4.0 * t * t * t; };
+  Function f = Function::project(poly, params1d(6, 1e-10, 3, 3));
+  Function df = derivative(f, 0);
+  Rng rng(121);
+  for (int i = 0; i < 40; ++i) {
+    const double x[1] = {rng.next_double()};
+    EXPECT_NEAR(df.eval(x), dpoly(x[0]), 1e-10) << "x=" << x[0];
+  }
+  // Boundary probes included.
+  const double x0[1] = {1e-4}, x1[1] = {1.0 - 1e-4};
+  EXPECT_NEAR(df.eval(x0), dpoly(1e-4), 1e-9);
+  EXPECT_NEAR(df.eval(x1), dpoly(1.0 - 1e-4), 1e-9);
+}
+
+TEST(Derivative, GaussianMatchesAnalytic) {
+  const double c = 0.5, w = 0.12;
+  auto g = [&](std::span<const double> x) {
+    const double u = (x[0] - c) / w;
+    return std::exp(-u * u);
+  };
+  Function f = Function::project(g, params1d(10, 1e-10, 4, 6));
+  Function df = derivative(f, 0);
+  Rng rng(122);
+  for (int i = 0; i < 30; ++i) {
+    const double x[1] = {rng.uniform(0.1, 0.9)};
+    const double expect = -2.0 * (x[0] - c) / (w * w) * g(x);
+    EXPECT_NEAR(df.eval(x), expect, 2e-4 * (2.0 / w)) << "x=" << x[0];
+  }
+}
+
+TEST(Derivative, HandlesAdaptiveLevelMismatch) {
+  // A narrow feature: neighbors at very different levels. The operator
+  // refines locally; accuracy must survive across the level jumps.
+  const double c = 0.3, w = 0.03;
+  auto g = [&](std::span<const double> x) {
+    const double u = (x[0] - c) / w;
+    return std::exp(-u * u);
+  };
+  FunctionParams p = params1d(8, 1e-8, 2, 20);
+  Function f = Function::project(g, p);
+  ASSERT_GT(f.max_depth(), 4);
+  Function df = derivative(f, 0);
+  Rng rng(123);
+  for (int i = 0; i < 40; ++i) {
+    const double x[1] = {rng.uniform(0.05, 0.95)};
+    const double expect = -2.0 * (x[0] - c) / (w * w) * g(x);
+    EXPECT_NEAR(df.eval(x), expect, 3e-3 * (2.0 / w)) << "x=" << x[0];
+  }
+}
+
+TEST(Derivative, PartialDerivativesInTwoDimensions) {
+  // f = x^2 y: df/dx = 2xy, df/dy = x^2 — both exact for k >= 4.
+  auto g = [](std::span<const double> x) { return x[0] * x[0] * x[1]; };
+  FunctionParams p;
+  p.ndim = 2;
+  p.k = 5;
+  p.thresh = 1e-9;
+  p.initial_level = 2;
+  p.max_level = 2;
+  Function f = Function::project(g, p);
+  Function dx = derivative(f, 0);
+  Function dy = derivative(f, 1);
+  Rng rng(124);
+  for (int i = 0; i < 25; ++i) {
+    const double x[2] = {rng.next_double(), rng.next_double()};
+    EXPECT_NEAR(dx.eval(x), 2.0 * x[0] * x[1], 1e-9);
+    EXPECT_NEAR(dy.eval(x), x[0] * x[0], 1e-9);
+  }
+}
+
+TEST(Derivative, IsLinear) {
+  auto g1 = [](std::span<const double> x) { return std::sin(3.0 * x[0]); };
+  auto g2 = [](std::span<const double> x) { return x[0] * x[0]; };
+  FunctionParams p = params1d(9, 1e-9, 3, 5);
+  Function f1 = Function::project(g1, p);
+  Function f2 = Function::project(g2, p);
+  Function sum = Function::project(
+      [&](std::span<const double> x) { return 2.0 * g1(x) - g2(x); }, p);
+  Function dsum = derivative(sum, 0);
+  Function d1 = derivative(f1, 0);
+  Function d2 = derivative(f2, 0);
+  Rng rng(125);
+  for (int i = 0; i < 25; ++i) {
+    const double x[1] = {rng.uniform(0.05, 0.95)};
+    EXPECT_NEAR(dsum.eval(x), 2.0 * d1.eval(x) - d2.eval(x), 1e-6);
+  }
+}
+
+TEST(Derivative, MixedPartialsCommute) {
+  // d/dx d/dy f = d/dy d/dx f, exactly for a polynomial.
+  auto g = [](std::span<const double> x) {
+    return (1.0 + x[0] + x[0] * x[0]) * (2.0 - x[1] * x[1]);
+  };
+  FunctionParams p;
+  p.ndim = 2;
+  p.k = 6;
+  p.thresh = 1e-9;
+  p.initial_level = 2;
+  p.max_level = 2;
+  Function f = Function::project(g, p);
+  Function dxy = derivative(derivative(f, 0), 1);
+  Function dyx = derivative(derivative(f, 1), 0);
+  Rng rng(126);
+  for (int i = 0; i < 20; ++i) {
+    const double x[2] = {rng.next_double(), rng.next_double()};
+    const double expect = (1.0 + 2.0 * x[0]) * (-2.0 * x[1]);
+    EXPECT_NEAR(dxy.eval(x), expect, 1e-8);
+    EXPECT_NEAR(dyx.eval(x), dxy.eval(x), 1e-8);
+  }
+}
+
+TEST(Derivative, RejectsBadInputs) {
+  FunctionParams p = params1d(5, 1e-5, 2, 4);
+  Function f = Function::project(
+      [](std::span<const double> x) { return x[0]; }, p);
+  EXPECT_THROW(derivative(f, 1), Error);  // axis out of range for d=1
+  f.compress();
+  EXPECT_THROW(derivative(f, 0), Error);
+}
+
+}  // namespace
+}  // namespace mh::mra

@@ -1,0 +1,246 @@
+// Unit tests for src/linalg: GEMM kernels, QR, SVD.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "common/rng.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+
+namespace mh::linalg {
+namespace {
+
+std::vector<double> random_matrix(std::size_t rows, std::size_t cols,
+                                  Rng& rng) {
+  std::vector<double> m(rows * cols);
+  for (double& x : m) x = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+// Naive reference: c(i,j) += a(i,k) b(k,j).
+void ref_mxm(std::size_t di, std::size_t dj, std::size_t dk, double* c,
+             const double* a, const double* b) {
+  for (std::size_t i = 0; i < di; ++i)
+    for (std::size_t j = 0; j < dj; ++j)
+      for (std::size_t k = 0; k < dk; ++k)
+        c[i * dj + j] += a[i * dk + k] * b[k * dj + j];
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, MxmMatchesReference) {
+  const auto [di, dj, dk] = GetParam();
+  Rng rng(di * 10007 + dj * 101 + dk);
+  const auto a = random_matrix(di, dk, rng);
+  const auto b = random_matrix(dk, dj, rng);
+  std::vector<double> c(di * dj, 0.5), ref(di * dj, 0.5);
+  mxm(di, dj, dk, c.data(), a.data(), b.data());
+  ref_mxm(di, dj, dk, ref.data(), a.data(), b.data());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-12);
+}
+
+TEST_P(GemmShapes, MTxmMatchesTransposedReference) {
+  const auto [di, dj, dk] = GetParam();
+  Rng rng(di * 7 + dj * 13 + dk * 17);
+  const auto at = random_matrix(dk, di, rng);  // a stored transposed
+  const auto b = random_matrix(dk, dj, rng);
+  // Build the untransposed a for the reference.
+  std::vector<double> a(static_cast<std::size_t>(di) * dk);
+  for (int k = 0; k < dk; ++k)
+    for (int i = 0; i < di; ++i)
+      a[static_cast<std::size_t>(i) * dk + k] =
+          at[static_cast<std::size_t>(k) * di + i];
+  std::vector<double> c(static_cast<std::size_t>(di) * dj, 0.0),
+      ref(static_cast<std::size_t>(di) * dj, 0.0);
+  mTxm(di, dj, dk, c.data(), at.data(), b.data());
+  ref_mxm(di, dj, dk, ref.data(), a.data(), b.data());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-12);
+}
+
+TEST_P(GemmShapes, MxmTMatchesReference) {
+  const auto [di, dj, dk] = GetParam();
+  Rng rng(di + dj + dk);
+  const auto a = random_matrix(di, dk, rng);
+  const auto bt = random_matrix(dj, dk, rng);  // b stored transposed
+  std::vector<double> b(static_cast<std::size_t>(dk) * dj);
+  for (int j = 0; j < dj; ++j)
+    for (int k = 0; k < dk; ++k)
+      b[static_cast<std::size_t>(k) * dj + j] =
+          bt[static_cast<std::size_t>(j) * dk + k];
+  std::vector<double> c(static_cast<std::size_t>(di) * dj, 0.0),
+      ref(static_cast<std::size_t>(di) * dj, 0.0);
+  mxmT(di, dj, dk, c.data(), a.data(), bt.data());
+  ref_mxm(di, dj, dk, ref.data(), a.data(), b.data());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 5, 7},
+                      std::tuple{8, 8, 8}, std::tuple{10, 10, 10},
+                      std::tuple{100, 10, 10},   // (k^2, k) x (k, k), k=10
+                      std::tuple{9, 17, 4}, std::tuple{2744, 14, 14},
+                      std::tuple{1, 16, 32}));
+
+TEST(Gemm, AccumulatesIntoExistingC) {
+  // c starts nonzero; kernels must add, not overwrite.
+  const double a[1] = {2.0};
+  const double b[1] = {3.0};
+  double c[1] = {10.0};
+  mxm(1, 1, 1, c, a, b);
+  EXPECT_DOUBLE_EQ(c[0], 16.0);
+}
+
+TEST(Gemm, ReducedEqualsFullWhenKredIsDimk) {
+  Rng rng(99);
+  const std::size_t di = 6, dj = 5, dk = 8;
+  const auto at = random_matrix(dk, di, rng);
+  const auto b = random_matrix(dk, dj, rng);
+  std::vector<double> full(di * dj, 0.0), red(di * dj, 0.0);
+  mTxm(di, dj, dk, full.data(), at.data(), b.data());
+  mTxm_reduced(di, dj, dk, dk, red.data(), at.data(), b.data());
+  for (std::size_t i = 0; i < full.size(); ++i)
+    EXPECT_NEAR(full[i], red[i], 1e-13);
+}
+
+TEST(Gemm, ReducedContractsOnlyLeadingRows) {
+  // With kred = 1 only the first row of a^T and b contribute.
+  const std::size_t di = 2, dj = 2, dk = 3;
+  const double at[dk * di] = {1, 2, 100, 100, 100, 100};
+  const double b[dk * dj] = {3, 4, 100, 100, 100, 100};
+  double c[di * dj] = {};
+  mTxm_reduced(di, dj, dk, 1, c, at, b);
+  EXPECT_DOUBLE_EQ(c[0], 3.0);   // 1*3
+  EXPECT_DOUBLE_EQ(c[1], 4.0);   // 1*4
+  EXPECT_DOUBLE_EQ(c[2], 6.0);   // 2*3
+  EXPECT_DOUBLE_EQ(c[3], 8.0);   // 2*4
+}
+
+TEST(Gemm, ReducedClampsOversizedKred) {
+  Rng rng(1);
+  const std::size_t d = 4;
+  const auto at = random_matrix(d, d, rng);
+  const auto b = random_matrix(d, d, rng);
+  std::vector<double> c1(d * d, 0.0), c2(d * d, 0.0);
+  mTxm_reduced(d, d, d, d + 10, c1.data(), at.data(), b.data());
+  mTxm(d, d, d, c2.data(), at.data(), b.data());
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-13);
+}
+
+TEST(Gemm, FlopCount) {
+  EXPECT_DOUBLE_EQ(gemm_flops(100, 10, 10), 2.0 * 100 * 10 * 10);
+}
+
+TEST(Qr, ReproducesMatrixAndOrthonormalQ) {
+  Rng rng(42);
+  const std::size_t m = 12, n = 5;
+  const auto a = random_matrix(m, n, rng);
+  const QrResult f = qr(a, m, n);
+  // a == q r
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        acc += f.q[i * n + k] * f.r[k * n + j];
+      EXPECT_NEAR(acc, a[i * n + j], 1e-12);
+    }
+  }
+  // q^T q == I
+  for (std::size_t c1 = 0; c1 < n; ++c1) {
+    for (std::size_t c2 = 0; c2 < n; ++c2) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < m; ++i)
+        acc += f.q[i * n + c1] * f.q[i * n + c2];
+      EXPECT_NEAR(acc, c1 == c2 ? 1.0 : 0.0, 1e-12);
+    }
+  }
+  // r upper triangular
+  for (std::size_t i = 1; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      EXPECT_DOUBLE_EQ(f.r[i * n + j], 0.0);
+}
+
+TEST(Qr, SquareIdentity) {
+  std::vector<double> eye(9, 0.0);
+  eye[0] = eye[4] = eye[8] = 1.0;
+  const QrResult f = qr(eye, 3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(std::abs(f.q[i * 3 + j]), i == j ? 1.0 : 0.0, 1e-14);
+}
+
+TEST(Qr, RejectsWideMatrix) {
+  EXPECT_THROW(qr(std::vector<double>(6, 1.0), 2, 3), Error);
+}
+
+TEST(Svd, ReconstructsMatrix) {
+  Rng rng(17);
+  const std::size_t m = 9, n = 6;
+  const auto a = random_matrix(m, n, rng);
+  const SvdResult f = svd(a, m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        acc += f.u[i * n + k] * f.s[k] * f.v[j * n + k];
+      EXPECT_NEAR(acc, a[i * n + j], 1e-10);
+    }
+  }
+}
+
+TEST(Svd, SingularValuesDescendingNonNegative) {
+  Rng rng(18);
+  const auto a = random_matrix(8, 8, rng);
+  const SvdResult f = svd(a, 8, 8);
+  for (std::size_t i = 0; i + 1 < f.s.size(); ++i) {
+    EXPECT_GE(f.s[i], f.s[i + 1]);
+    EXPECT_GE(f.s[i + 1], 0.0);
+  }
+}
+
+TEST(Svd, DiagonalMatrixHasKnownSpectrum) {
+  std::vector<double> a(9, 0.0);
+  a[0] = 3.0;
+  a[4] = -2.0;  // sign goes into the vectors, not sigma
+  a[8] = 1.0;
+  const SvdResult f = svd(a, 3, 3);
+  EXPECT_NEAR(f.s[0], 3.0, 1e-12);
+  EXPECT_NEAR(f.s[1], 2.0, 1e-12);
+  EXPECT_NEAR(f.s[2], 1.0, 1e-12);
+}
+
+TEST(Svd, RankDetectsLowRank) {
+  // Outer product of two vectors: rank 1.
+  const std::size_t m = 7, n = 5;
+  std::vector<double> a(m * n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a[i * n + j] = (1.0 + static_cast<double>(i)) *
+                     (2.0 - 0.3 * static_cast<double>(j));
+  const SvdResult f = svd(a, m, n);
+  EXPECT_EQ(f.rank(1e-10), 1u);
+}
+
+TEST(Svd, OrthonormalFactors) {
+  Rng rng(23);
+  const std::size_t m = 10, n = 4;
+  const auto a = random_matrix(m, n, rng);
+  const SvdResult f = svd(a, m, n);
+  for (std::size_t c1 = 0; c1 < n; ++c1) {
+    for (std::size_t c2 = 0; c2 < n; ++c2) {
+      double uu = 0.0, vv = 0.0;
+      for (std::size_t i = 0; i < m; ++i)
+        uu += f.u[i * n + c1] * f.u[i * n + c2];
+      for (std::size_t i = 0; i < n; ++i)
+        vv += f.v[i * n + c1] * f.v[i * n + c2];
+      EXPECT_NEAR(uu, c1 == c2 ? 1.0 : 0.0, 1e-10);
+      EXPECT_NEAR(vv, c1 == c2 ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mh::linalg

@@ -1,0 +1,359 @@
+// Tests for src/runtime: thread pool, hybrid dispatch math, and the
+// asynchronous batching engine (real threads; semantics, not speed).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "runtime/batching.hpp"
+#include "runtime/dispatch.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mh::rt {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+  EXPECT_EQ(pool.executed(), 1000u);
+}
+
+TEST(ThreadPool, TasksMaySpawnTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskError) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed; the pool stays usable.
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, RejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), Error);
+}
+
+TEST(ThreadPool, RequiresWorkers) { EXPECT_THROW(ThreadPool(0), Error); }
+
+TEST(Dispatch, OptimalFractionFormula) {
+  // m = 24.3 (10 CPU threads), n = 24.7 (6 streams): Table I regime.
+  const double k = optimal_cpu_fraction(24.3, 24.7);
+  EXPECT_NEAR(k, 24.7 / (24.3 + 24.7), 1e-12);
+  // Optimal time m n / (m + n) ~ 12.25 s, close to the paper's 12.1.
+  EXPECT_NEAR(optimal_overlap_time(24.3, 24.7), 24.3 * 24.7 / 49.0, 1e-12);
+}
+
+TEST(Dispatch, OverlapTimeIsMinimizedAtOptimum) {
+  const double m = 10.0, n = 30.0;
+  const double kstar = optimal_cpu_fraction(m, n);
+  const double best = overlap_time(m, n, kstar);
+  EXPECT_NEAR(best, optimal_overlap_time(m, n), 1e-12);
+  for (double k : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    EXPECT_GE(overlap_time(m, n, k) + 1e-12, best) << "k=" << k;
+  }
+}
+
+TEST(Dispatch, CpuShareRoundsAndClamps) {
+  EXPECT_EQ(cpu_share(10, 0.0), 0u);
+  EXPECT_EQ(cpu_share(10, 1.0), 10u);
+  EXPECT_EQ(cpu_share(10, 0.55), 6u);
+  EXPECT_EQ(cpu_share(0, 0.5), 0u);
+  EXPECT_THROW(cpu_share(10, 1.5), Error);
+}
+
+TEST(Dispatch, RateEstimatorConverges) {
+  RateEstimator est(0.5);
+  EXPECT_FALSE(est.ready());
+  est.record(10, 1.0);  // 0.1 s/item
+  EXPECT_TRUE(est.ready());
+  EXPECT_NEAR(est.per_item(), 0.1, 1e-12);
+  for (int i = 0; i < 20; ++i) est.record(10, 2.0);  // drift to 0.2
+  EXPECT_NEAR(est.per_item(), 0.2, 1e-3);
+  EXPECT_THROW(est.record(0, 1.0), Error);
+}
+
+using Engine = BatchingEngine<int, int>;
+
+Engine::Config quick_config(double cpu_fraction = -1.0) {
+  Engine::Config cfg;
+  cfg.cpu_threads = 3;
+  cfg.cpu_fraction = cpu_fraction;
+  cfg.flush_interval = 2ms;
+  cfg.max_batch = 64;
+  return cfg;
+}
+
+TEST(BatchingEngine, ProcessesEveryItemExactlyOnce) {
+  Engine engine(quick_config());
+  std::mutex mu;
+  std::multiset<int> seen;
+  const KindId kind = engine.register_kind(
+      {[](const int& x) { return x * 2; },
+       [](std::span<const int> xs) {
+         std::vector<int> out;
+         for (int x : xs) out.push_back(x * 2);
+         return out;
+       },
+       [&](int&& out) {
+         std::scoped_lock lock(mu);
+         seen.insert(out);
+       },
+       /*input_hash=*/1});
+  for (int i = 0; i < 500; ++i) engine.submit(kind, i);
+  engine.wait();
+  ASSERT_EQ(seen.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(seen.count(i * 2), 1u) << i;
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 500u);
+  EXPECT_EQ(stats.completed, 500u);
+  EXPECT_EQ(stats.cpu_items + stats.gpu_items, 500u);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(BatchingEngine, CpuOnlyFractionNeverCallsGpu) {
+  Engine engine(quick_config(1.0));
+  std::atomic<int> gpu_calls{0}, done{0};
+  const KindId kind = engine.register_kind(
+      {[](const int& x) { return x; },
+       [&](std::span<const int> xs) {
+         ++gpu_calls;
+         return std::vector<int>(xs.begin(), xs.end());
+       },
+       [&](int&&) { ++done; },
+       2});
+  for (int i = 0; i < 100; ++i) engine.submit(kind, i);
+  engine.wait();
+  EXPECT_EQ(done.load(), 100);
+  EXPECT_EQ(gpu_calls.load(), 0);
+  EXPECT_EQ(engine.stats().gpu_items, 0u);
+}
+
+TEST(BatchingEngine, GpuOnlyFractionNeverCallsCpu) {
+  Engine engine(quick_config(0.0));
+  std::atomic<int> cpu_calls{0}, done{0};
+  const KindId kind = engine.register_kind(
+      {[&](const int& x) {
+         ++cpu_calls;
+         return x;
+       },
+       [](std::span<const int> xs) {
+         return std::vector<int>(xs.begin(), xs.end());
+       },
+       [&](int&&) { ++done; },
+       3});
+  for (int i = 0; i < 100; ++i) engine.submit(kind, i);
+  engine.wait();
+  EXPECT_EQ(done.load(), 100);
+  EXPECT_EQ(cpu_calls.load(), 0);
+  EXPECT_EQ(engine.stats().cpu_items, 0u);
+}
+
+TEST(BatchingEngine, SplitsBatchBetweenCpuAndGpu) {
+  Engine engine(quick_config(0.5));
+  std::atomic<int> done{0};
+  const KindId kind = engine.register_kind(
+      {[](const int& x) { return x; },
+       [](std::span<const int> xs) {
+         return std::vector<int>(xs.begin(), xs.end());
+       },
+       [&](int&&) { ++done; },
+       4});
+  for (int i = 0; i < 400; ++i) engine.submit(kind, i);
+  engine.wait();
+  const auto stats = engine.stats();
+  EXPECT_EQ(done.load(), 400);
+  // With k = 0.5 both sides should get a substantial share.
+  EXPECT_GT(stats.cpu_items, 100u);
+  EXPECT_GT(stats.gpu_items, 100u);
+}
+
+TEST(BatchingEngine, KindsAreSegregatedInGpuBatches) {
+  Engine engine(quick_config(0.0));
+  std::mutex mu;
+  std::vector<std::vector<int>> kind_a_batches, kind_b_batches;
+  std::atomic<int> done{0};
+  const KindId a = engine.register_kind(
+      {nullptr,
+       [&](std::span<const int> xs) {
+         {
+           std::scoped_lock lock(mu);
+           kind_a_batches.emplace_back(xs.begin(), xs.end());
+         }
+         return std::vector<int>(xs.begin(), xs.end());
+       },
+       [&](int&&) { ++done; },
+       10});
+  const KindId b = engine.register_kind(
+      {nullptr,
+       [&](std::span<const int> xs) {
+         {
+           std::scoped_lock lock(mu);
+           kind_b_batches.emplace_back(xs.begin(), xs.end());
+         }
+         return std::vector<int>(xs.begin(), xs.end());
+       },
+       [&](int&&) { ++done; },
+       11});
+  for (int i = 0; i < 100; ++i) {
+    engine.submit(a, i);          // evens to kind a: values 0..99
+    engine.submit(b, 1000 + i);   // kind b: values 1000..1099
+  }
+  engine.wait();
+  EXPECT_EQ(done.load(), 200);
+  for (const auto& batch : kind_a_batches)
+    for (int x : batch) EXPECT_LT(x, 1000);
+  for (const auto& batch : kind_b_batches)
+    for (int x : batch) EXPECT_GE(x, 1000);
+}
+
+TEST(BatchingEngine, SizeCapTriggersEarlyDispatch) {
+  auto cfg = quick_config(0.0);
+  cfg.max_batch = 8;
+  cfg.flush_interval = 10min;  // timer effectively off
+  Engine engine(cfg);
+  std::atomic<int> done{0};
+  const KindId kind = engine.register_kind(
+      {nullptr,
+       [](std::span<const int> xs) {
+         return std::vector<int>(xs.begin(), xs.end());
+       },
+       [&](int&&) { ++done; },
+       5});
+  for (int i = 0; i < 8; ++i) engine.submit(kind, i);
+  // No flush, no timer: the size cap alone must dispatch.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (done.load() < 8 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_GE(engine.stats().size_flushes, 1u);
+}
+
+TEST(BatchingEngine, TimerFlushesPartialBatch) {
+  auto cfg = quick_config(0.0);
+  cfg.max_batch = 1000000;  // size cap effectively off
+  cfg.flush_interval = 2ms;
+  Engine engine(cfg);
+  std::atomic<int> done{0};
+  const KindId kind = engine.register_kind(
+      {nullptr,
+       [](std::span<const int> xs) {
+         return std::vector<int>(xs.begin(), xs.end());
+       },
+       [&](int&&) { ++done; },
+       6});
+  for (int i = 0; i < 5; ++i) engine.submit(kind, i);
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (done.load() < 5 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(done.load(), 5);
+  EXPECT_GE(engine.stats().timer_flushes, 1u);
+}
+
+TEST(BatchingEngine, WaitRethrowsComputeError) {
+  Engine engine(quick_config(1.0));
+  const KindId kind = engine.register_kind(
+      {[](const int& x) -> int {
+         if (x == 13) throw std::runtime_error("unlucky");
+         return x;
+       },
+       nullptr,
+       [](int&&) {},
+       7});
+  for (int i = 0; i < 20; ++i) engine.submit(kind, i);
+  EXPECT_THROW(engine.wait(), std::runtime_error);
+  // All items accounted for despite the failure.
+  EXPECT_EQ(engine.stats().completed, 20u);
+}
+
+TEST(BatchingEngine, WaitRethrowsGpuBatchError) {
+  Engine engine(quick_config(0.0));
+  const KindId kind = engine.register_kind(
+      {nullptr,
+       [](std::span<const int>) -> std::vector<int> {
+         throw std::runtime_error("device lost");
+       },
+       [](int&&) {},
+       8});
+  for (int i = 0; i < 10; ++i) engine.submit(kind, i);
+  EXPECT_THROW(engine.wait(), std::runtime_error);
+  EXPECT_EQ(engine.stats().completed, 10u);
+}
+
+TEST(BatchingEngine, AutoSplitUsesBothSidesUnderLoad) {
+  // With auto mode (cpu_fraction < 0) and similar spoofed costs, both sides
+  // should end up with work after rates warm up.
+  Engine engine(quick_config(-1.0));
+  std::atomic<int> done{0};
+  const KindId kind = engine.register_kind(
+      {[](const int& x) { return x; },
+       [](std::span<const int> xs) {
+         return std::vector<int>(xs.begin(), xs.end());
+       },
+       [&](int&&) { ++done; },
+       9});
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 100; ++i) engine.submit(kind, i);
+    engine.wait();
+  }
+  EXPECT_EQ(done.load(), 1000);
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.cpu_items, 0u);
+  EXPECT_GT(stats.gpu_items, 0u);
+}
+
+TEST(BatchingEngine, KindHashMixesUserHash) {
+  Engine engine(quick_config());
+  auto cpu = [](const int& x) { return x; };
+  const KindId k1 = engine.register_kind({cpu, nullptr, [](int&&) {}, 100});
+  const KindId k2 = engine.register_kind({cpu, nullptr, [](int&&) {}, 200});
+  EXPECT_NE(engine.kind_hash(k1), engine.kind_hash(k2));
+}
+
+TEST(BatchingEngine, ManyConcurrentSubmitters) {
+  Engine engine(quick_config());
+  std::atomic<int> done{0};
+  const KindId kind = engine.register_kind(
+      {[](const int& x) { return x; },
+       [](std::span<const int> xs) {
+         return std::vector<int>(xs.begin(), xs.end());
+       },
+       [&](int&&) { ++done; },
+       12});
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&engine, kind] {
+      for (int i = 0; i < 250; ++i) engine.submit(kind, i);
+    });
+  }
+  for (auto& t : submitters) t.join();
+  engine.wait();
+  EXPECT_EQ(done.load(), 1000);
+}
+
+}  // namespace
+}  // namespace mh::rt
