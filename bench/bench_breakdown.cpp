@@ -3,9 +3,23 @@
 // version of the paper's §III-A discussion ("the CPU, besides computation,
 // also has to run all preprocess and postprocess tasks... the dispatcher
 // thread has to rearrange and batch data for the GPU").
+//
+// The profile is read back from src/obs trace spans: each mode runs with a
+// TraceSession attached, clustersim lays the per-batch phases onto
+// "node<i>/phases" tracks (simulated time), and the table is the per-
+// category sum over the slowest node's track — the same spans Perfetto
+// shows. Set MH_TRACE=<path> to also write the hybrid run as Chrome
+// trace_event JSON (chrome://tracing / https://ui.perfetto.dev); a short
+// real-thread BatchingEngine pass is traced into the same file so it
+// carries both clock domains.
+#include <atomic>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
+#include "runtime/batching.hpp"
 
 namespace {
 
@@ -13,18 +27,56 @@ using namespace mh;
 using namespace mh::bench;
 
 void add_mode(TextTable& t, const char* label, const cluster::Workload& w,
-              cluster::ClusterConfig cfg) {
+              cluster::ClusterConfig cfg, obs::TraceSession& session) {
+  cfg.trace = &session;
   const auto loads = cluster::even_map(w.tasks, cfg.nodes);
   const auto result = cluster::run_cluster_apply(w, loads, cfg);
   if (!result.feasible) {
     t.add_row({label, "-", "-", "-", "-", "-", "-", "-"});
     return;
   }
-  const auto& b = result.slowest_breakdown;
-  t.add_row({label, fmt(result.makespan.sec()), fmt(b.cpu_compute.sec()),
-             fmt(b.host_data.sec()), fmt(b.dispatch.sec()),
-             fmt(b.transfers.sec(), 2), fmt(b.gpu_kernels.sec()),
-             fmt(b.comm.sec(), 2)});
+  std::size_t slowest = 0;
+  for (std::size_t i = 1; i < result.node_times.size(); ++i) {
+    if (result.node_times[i] > result.node_times[slowest]) slowest = i;
+  }
+  const auto totals = session.category_totals(
+      obs::ClockDomain::kSim, "node" + std::to_string(slowest) + "/phases");
+  using C = obs::Category;
+  t.add_row({label, fmt(result.makespan.sec()),
+             fmt(totals.sim(C::kCpuCompute).sec()),
+             fmt((totals.sim(C::kPreprocess) + totals.sim(C::kPostprocess)).sec()),
+             fmt(totals.sim(C::kBatchFlush).sec()),
+             fmt(totals.sim(C::kTransfer).sec(), 2),
+             fmt(totals.sim(C::kGpuKernel).sec()),
+             fmt(totals.sim(C::kComm).sec(), 2)});
+}
+
+// A short real-thread BatchingEngine pass traced into `session`, so an
+// exported file demonstrates both clock domains: wall-clock batch/compute
+// spans here, simulated-time node/stream spans from the cluster run.
+void live_engine_pass(obs::TraceSession& session) {
+  using Engine = rt::BatchingEngine<int, double>;
+  Engine::Config cfg;
+  cfg.cpu_threads = 4;
+  cfg.flush_interval = std::chrono::milliseconds(1);
+  cfg.max_batch = 64;
+  cfg.trace = &session;
+  Engine engine(cfg);
+  std::atomic<double> sum{0.0};
+  const rt::KindId kind = engine.register_kind(
+      {[](const int& x) { return static_cast<double>(x) * 1.5; },
+       [](std::span<const int> xs) {
+         std::vector<double> out;
+         out.reserve(xs.size());
+         for (int x : xs) out.push_back(static_cast<double>(x) * 1.5);
+         return out;
+       },
+       [&sum](double&& v) {
+         sum.fetch_add(v, std::memory_order_relaxed);
+       },
+       /*input_hash=*/0xb27eadull});
+  for (int i = 0; i < 2000; ++i) engine.submit(kind, i);
+  engine.wait();
 }
 
 int run() {
@@ -38,25 +90,39 @@ int run() {
   auto base = apps::titan_config();
   base.nodes = 1;
 
+  obs::TraceSession cpu_session, gpu_session, hybrid_session;
+
   auto cpu = base;
   cpu.mode = cluster::ComputeMode::kCpuOnly;
-  add_mode(t, "CPU-only (16 thr)", w, cpu);
+  add_mode(t, "CPU-only (16 thr)", w, cpu, cpu_session);
 
   auto gpu = base;
   gpu.mode = cluster::ComputeMode::kGpuOnly;
   gpu.node.gpu_streams = 5;
-  add_mode(t, "GPU-only (5 streams)", w, gpu);
+  add_mode(t, "GPU-only (5 streams)", w, gpu, gpu_session);
 
   auto hyb = base;
   hyb.mode = cluster::ComputeMode::kHybrid;
   hyb.cpu_compute_threads = 10;
   hyb.node.gpu_streams = 5;
-  add_mode(t, "hybrid (10 thr + 5 str)", w, hyb);
+  add_mode(t, "hybrid (10 thr + 5 str)", w, hyb, hybrid_session);
 
   t.print(std::cout);
   print_footnote(
-      "note: phases are summed per batch; CPU compute and the GPU chain "
-      "overlap inside a hybrid batch, so rows can exceed the makespan.");
+      "note: columns are per-category span totals from the slowest node's "
+      "trace track; CPU compute and the GPU chain overlap inside a hybrid "
+      "batch, so rows can exceed the makespan.");
+
+  if (const char* path = std::getenv("MH_TRACE"); path != nullptr) {
+    live_engine_pass(hybrid_session);
+    if (hybrid_session.write_chrome_trace_file(path)) {
+      print_footnote(std::string("trace: wrote ") +
+                     std::to_string(hybrid_session.span_count()) +
+                     " spans (hybrid run + live engine pass) to " + path);
+    } else {
+      print_footnote(std::string("trace: could not write ") + path);
+    }
+  }
   return 0;
 }
 

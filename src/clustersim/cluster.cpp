@@ -8,6 +8,32 @@
 namespace mh::cluster {
 namespace {
 
+// Span sink for one node's phase track; a null session makes every call a
+// no-op so the simulation paths need no guards.
+struct NodeTracer {
+  obs::TraceSession* session = nullptr;
+  std::uint32_t phases = 0;
+
+  void span(const char* name, obs::Category cat, SimTime start,
+            SimTime end) const {
+    if (session != nullptr && end > start) {
+      session->record_sim(phases, name, cat, start, end);
+    }
+  }
+};
+
+NodeTracer make_tracer(const ClusterConfig& config,
+                       const std::string& node_track) {
+  NodeTracer tracer;
+  tracer.session = config.trace != nullptr ? config.trace
+                                           : obs::TraceSession::current();
+  if (tracer.session != nullptr) {
+    tracer.phases = tracer.session->track(obs::ClockDomain::kSim,
+                                          node_track + "/phases");
+  }
+  return tracer;
+}
+
 // Build the descriptor batch for `count` tasks, assigning still-untouched
 // operator blocks (device-cache misses) to the earliest tasks.
 std::vector<gpu::GpuTaskDesc> make_batch(const Workload& workload,
@@ -40,18 +66,40 @@ bool gpu_fits(const Workload& workload, std::size_t tasks,
   return true;
 }
 
-void record_batch(NodeBreakdown* bd, const gpu::BatchTiming& timing) {
-  if (bd == nullptr) return;
-  bd->host_data += timing.host_prep + timing.host_post;
-  bd->dispatch += timing.dispatch;
-  bd->transfers += timing.transfer_in + timing.transfer_out;
-  bd->gpu_kernels += timing.kernel_span;
+void record_batch(NodeBreakdown* bd, const NodeTracer& tracer,
+                  const gpu::BatchTiming& timing) {
+  if (bd != nullptr) {
+    bd->host_data += timing.host_prep + timing.host_post;
+    bd->dispatch += timing.dispatch;
+    bd->transfers += timing.transfer_in + timing.transfer_out;
+    bd->gpu_kernels += timing.kernel_span;
+  }
+  // Phase spans laid out back-to-back in data-path order (Figure 3); the
+  // device's own stream tracks carry the exact per-kernel timing.
+  SimTime t = timing.start;
+  tracer.span("preprocess", obs::Category::kPreprocess, t,
+              t + timing.host_prep);
+  t += timing.host_prep;
+  tracer.span("dispatch", obs::Category::kBatchFlush, t, t + timing.dispatch);
+  t += timing.dispatch;
+  tracer.span("h2d", obs::Category::kTransfer, t, t + timing.transfer_in);
+  t += timing.transfer_in;
+  tracer.span("kernels", obs::Category::kGpuKernel, t, t + timing.kernel_span);
+  t += timing.kernel_span;
+  tracer.span("d2h", obs::Category::kTransfer, t, t + timing.transfer_out);
+  tracer.span("postprocess", obs::Category::kPostprocess,
+              timing.total_done - timing.host_post, timing.total_done);
 }
 
 SimTime gpu_only_node_time(const Workload& workload, std::size_t tasks,
                            const ClusterConfig& config,
-                           NodeBreakdown* breakdown) {
+                           NodeBreakdown* breakdown,
+                           const NodeTracer& tracer,
+                           const std::string& node_track) {
   gpu::GpuDevice device(config.node.device, config.node.gpu_streams);
+  if (tracer.session != nullptr) {
+    device.set_trace(tracer.session, node_track + "/gpu/");
+  }
   gpu::BatchConfig gcfg = config.gpu;
   gcfg.streams = config.node.gpu_streams;
   std::size_t remaining_new = workload.unique_h_blocks;
@@ -61,7 +109,7 @@ SimTime gpu_only_node_time(const Workload& workload, std::size_t tasks,
     const std::size_t count = std::min(left, config.batch_size);
     const auto batch = make_batch(workload, count, remaining_new);
     const auto timing = gpu::run_apply_batch(device, nullptr, batch, gcfg, t);
-    record_batch(breakdown, timing);
+    record_batch(breakdown, tracer, timing);
     t = timing.total_done;
     left -= count;
   }
@@ -77,8 +125,12 @@ SimTime cpu_only_node_time(const Workload& workload, std::size_t tasks,
 
 SimTime hybrid_node_time(const Workload& workload, std::size_t tasks,
                          const ClusterConfig& config,
-                         NodeBreakdown* breakdown) {
+                         NodeBreakdown* breakdown, const NodeTracer& tracer,
+                         const std::string& node_track) {
   gpu::GpuDevice device(config.node.device, config.node.gpu_streams);
+  if (tracer.session != nullptr) {
+    device.set_trace(tracer.session, node_track + "/gpu/");
+  }
   gpu::BatchConfig gcfg = config.gpu;
   gcfg.streams = config.node.gpu_streams;
 
@@ -115,11 +167,14 @@ SimTime hybrid_node_time(const Workload& workload, std::size_t tasks,
                        config.rank_reduce ? config.rank_fraction : 1.0);
     const SimTime cpu_done = t + cpu_part;
     if (breakdown != nullptr) breakdown->cpu_compute += cpu_part;
+    if (ncpu > 0) {
+      tracer.span("cpu-compute", obs::Category::kCpuCompute, t, cpu_done);
+    }
     SimTime gpu_done = t;
     if (ngpu > 0) {
       const auto batch = make_batch(workload, ngpu, remaining_new);
       const auto timing = gpu::run_apply_batch(device, nullptr, batch, gcfg, t);
-      record_batch(breakdown, timing);
+      record_batch(breakdown, tracer, timing);
       gpu_done = timing.total_done;
     }
     t = max(cpu_done, gpu_done);
@@ -131,18 +186,24 @@ SimTime hybrid_node_time(const Workload& workload, std::size_t tasks,
 }  // namespace
 
 SimTime node_run_time(const Workload& workload, std::size_t tasks,
-                      const ClusterConfig& config, NodeBreakdown* breakdown) {
+                      const ClusterConfig& config, NodeBreakdown* breakdown,
+                      const std::string& node_track) {
   if (tasks == 0) return SimTime::zero();
+  const NodeTracer tracer = make_tracer(config, node_track);
   switch (config.mode) {
     case ComputeMode::kCpuOnly: {
       const SimTime t = cpu_only_node_time(workload, tasks, config);
       if (breakdown != nullptr) breakdown->cpu_compute += t;
+      tracer.span("cpu-compute", obs::Category::kCpuCompute, SimTime::zero(),
+                  t);
       return t;
     }
     case ComputeMode::kGpuOnly:
-      return gpu_only_node_time(workload, tasks, config, breakdown);
+      return gpu_only_node_time(workload, tasks, config, breakdown, tracer,
+                                node_track);
     case ComputeMode::kHybrid:
-      return hybrid_node_time(workload, tasks, config, breakdown);
+      return hybrid_node_time(workload, tasks, config, breakdown, tracer,
+                              node_track);
   }
   MH_CHECK(false, "unknown compute mode");
   return SimTime::zero();
@@ -171,8 +232,10 @@ ClusterResult run_cluster_apply(const Workload& workload,
   const double msg_bytes = workload.shape.tensor_bytes();
   for (std::size_t nodei = 0; nodei < loads.size(); ++nodei) {
     const std::size_t tasks = loads[nodei];
+    const std::string node_track = "node" + std::to_string(nodei);
     NodeBreakdown breakdown;
-    const SimTime compute = node_run_time(workload, tasks, config, &breakdown);
+    const SimTime compute =
+        node_run_time(workload, tasks, config, &breakdown, node_track);
     // Remote accumulations: latency-dominated small messages, overlapped
     // poorly with the tail of the computation (conservatively additive).
     const double msgs =
@@ -180,6 +243,8 @@ ClusterResult run_cluster_apply(const Workload& workload,
     const SimTime comm =
         SimTime::seconds(msgs * (config.message_latency.sec() +
                                  msg_bytes / config.interconnect_bandwidth));
+    make_tracer(config, node_track)
+        .span("comm", obs::Category::kComm, compute, compute + comm);
     const SimTime total = compute + comm;
     result.node_times.push_back(total);
     if (total > result.makespan) {

@@ -16,6 +16,7 @@
 #include "clustersim/workload.hpp"
 #include "common/sim_time.hpp"
 #include "gpusim/gpu_executor.hpp"
+#include "obs/trace.hpp"
 
 namespace mh::cluster {
 
@@ -48,6 +49,12 @@ struct ClusterConfig {
   // Interconnect (Gemini-class; the paper reports no network bottleneck).
   double interconnect_bandwidth = 5e9;
   SimTime message_latency = SimTime::micros(2.0);
+
+  /// Simulated-time span sink: per-node phase spans land on
+  /// "node<i>/phases" tracks and device events on "node<i>/gpu/..."
+  /// stream tracks. nullptr falls back to obs::TraceSession::current()
+  /// (still off if that is null too). Non-owning.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Where one node's wall time went (aggregated over its batches).
@@ -83,9 +90,11 @@ ClusterResult run_cluster_apply(const Workload& workload,
 
 /// Time of one node processing `tasks` tasks under `config` (exposed for
 /// single-node benches: Tables I and II). `breakdown`, when non-null,
-/// receives the phase profile.
+/// receives the phase profile. `node_track` names the node's trace tracks
+/// when a trace session is attached.
 SimTime node_run_time(const Workload& workload, std::size_t tasks,
                       const ClusterConfig& config,
-                      NodeBreakdown* breakdown = nullptr);
+                      NodeBreakdown* breakdown = nullptr,
+                      const std::string& node_track = "node0");
 
 }  // namespace mh::cluster

@@ -1,0 +1,24 @@
+// Process-wide monotonic wall clock, in microseconds.
+//
+// The tracing subsystem (src/obs) timestamps real-thread spans on one shared
+// monotonic clock so that spans recorded by different threads line up on a
+// common axis. The anchor is captured on first use; everything downstream
+// works with plain doubles (µs since anchor), which is what the Chrome
+// trace_event format wants. Simulated time (SimTime) is a separate clock
+// domain and never mixes with this one.
+#pragma once
+
+#include <chrono>
+
+namespace mh {
+
+/// Microseconds elapsed on the monotonic clock since the first call in this
+/// process. Thread-safe; steady (never goes backwards).
+inline double wall_now_us() noexcept {
+  static const auto anchor = std::chrono::steady_clock::now();
+  const std::chrono::duration<double, std::micro> dt =
+      std::chrono::steady_clock::now() - anchor;
+  return dt.count();
+}
+
+}  // namespace mh

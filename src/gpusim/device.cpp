@@ -53,6 +53,13 @@ SimTime GpuDevice::enqueue_transfer(std::size_t stream, double bytes,
   copy_engine_free_ = done;
   ++stats_.transfers;
   (to_device ? stats_.bytes_to_device : stats_.bytes_to_host) += bytes;
+  if (trace_ != nullptr) {
+    trace_->record_sim(copy_track_, to_device ? "h2d" : "d2h",
+                       obs::Category::kTransfer, start, done,
+                       {{"bytes", bytes},
+                        {"pinned", pinned ? 1.0 : 0.0},
+                        {"stream", static_cast<double>(stream)}});
+  }
   return done;
 }
 
@@ -84,17 +91,45 @@ SimTime GpuDevice::enqueue_kernel(std::size_t stream, std::size_t sms,
   stream_ready_[stream] = done;
   ++stats_.kernels_launched;
   stats_.sm_busy_seconds += static_cast<double>(sms) * duration.sec();
+  if (trace_ != nullptr) {
+    trace_->record_sim(stream_tracks_[stream], "kernel",
+                       obs::Category::kGpuKernel, start, done,
+                       {{"sms", static_cast<double>(sms)}});
+  }
   return done;
 }
 
 SimTime GpuDevice::page_lock(SimTime ready) {
   ++stats_.page_locks;
-  return ready + spec_.page_lock_cost;
+  const SimTime done = ready + spec_.page_lock_cost;
+  if (trace_ != nullptr) {
+    trace_->record_sim(host_track_, "page-lock", obs::Category::kPageLock,
+                       ready, done);
+  }
+  return done;
 }
 
 SimTime GpuDevice::page_unlock(SimTime ready) {
   ++stats_.page_unlocks;
-  return ready + spec_.page_unlock_cost;
+  const SimTime done = ready + spec_.page_unlock_cost;
+  if (trace_ != nullptr) {
+    trace_->record_sim(host_track_, "page-unlock", obs::Category::kPageLock,
+                       ready, done);
+  }
+  return done;
+}
+
+void GpuDevice::set_trace(obs::TraceSession* session,
+                          const std::string& prefix) {
+  trace_ = session;
+  stream_tracks_.clear();
+  if (trace_ == nullptr) return;
+  for (std::size_t i = 0; i < stream_ready_.size(); ++i) {
+    stream_tracks_.push_back(trace_->track(
+        obs::ClockDomain::kSim, prefix + "stream" + std::to_string(i)));
+  }
+  copy_track_ = trace_->track(obs::ClockDomain::kSim, prefix + "copy-engine");
+  host_track_ = trace_->track(obs::ClockDomain::kSim, prefix + "host");
 }
 
 SimTime GpuDevice::stream_ready(std::size_t stream) const {

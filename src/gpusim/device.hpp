@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/sim_time.hpp"
+#include "obs/trace.hpp"
 
 namespace mh::gpu {
 
@@ -92,12 +93,22 @@ class GpuDevice {
   /// Fraction of SM-time busy between time 0 and idle_time().
   double occupancy() const;
 
+  /// Attach a trace session: every kernel, transfer, and page-lock becomes
+  /// a simulated-time span on "<prefix>stream<i>", "<prefix>copy-engine",
+  /// and "<prefix>host" tracks. Pass nullptr to detach.
+  void set_trace(obs::TraceSession* session, const std::string& prefix = {});
+
  private:
   DeviceSpec spec_;
   std::vector<SimTime> stream_ready_;
   std::vector<SimTime> sm_free_;
   SimTime copy_engine_free_;
   DeviceStats stats_;
+
+  obs::TraceSession* trace_ = nullptr;
+  std::vector<std::uint32_t> stream_tracks_;
+  std::uint32_t copy_track_ = 0;
+  std::uint32_t host_track_ = 0;
 };
 
 }  // namespace mh::gpu

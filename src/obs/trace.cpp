@@ -1,0 +1,410 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace mh::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_next_session_id{1};
+std::atomic<TraceSession*> g_current{nullptr};
+
+thread_local std::string t_thread_label;
+
+// Per-thread cache of (session id -> buffer) so the record() fast path never
+// touches the session registry. Stale entries for destroyed sessions are
+// harmless: session ids are process-unique and never reused, so a dead
+// entry can only ever miss.
+struct CacheEntry {
+  std::uint64_t session_id = 0;
+  void* buf = nullptr;
+  std::uint32_t thread_track = 0;
+};
+thread_local std::vector<CacheEntry> t_buffer_cache;
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          os << hex;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "0";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os << buf;
+}
+
+}  // namespace
+
+const char* category_name(Category cat) noexcept {
+  switch (cat) {
+    case Category::kPreprocess: return "preprocess";
+    case Category::kBatchFlush: return "batch-flush";
+    case Category::kCpuCompute: return "cpu-compute";
+    case Category::kGpuKernel: return "gpu-kernel";
+    case Category::kTransfer: return "transfer";
+    case Category::kPageLock: return "page-lock";
+    case Category::kPostprocess: return "postprocess";
+    case Category::kComm: return "comm";
+    case Category::kOther: return "other";
+  }
+  return "other";
+}
+
+// A fixed-size block of spans. The owning thread appends; readers walk the
+// chunk list concurrently, seeing a consistent prefix via acquire loads.
+struct TraceSession::Chunk {
+  static constexpr std::size_t kCapacity = 512;
+  std::array<Span, kCapacity> spans;
+  std::atomic<std::size_t> used{0};
+  std::atomic<Chunk*> next{nullptr};
+};
+
+struct TraceSession::ThreadBuf {
+  explicit ThreadBuf(std::uint32_t track) : thread_track(track) {
+    head = tail = new Chunk;
+  }
+  ~ThreadBuf() {
+    for (Chunk* c = head; c != nullptr;) {
+      Chunk* next = c->next.load(std::memory_order_relaxed);
+      delete c;
+      c = next;
+    }
+  }
+
+  void append(const Span& span) {
+    Chunk* c = tail;  // tail is written only by the owning thread
+    std::size_t n = c->used.load(std::memory_order_relaxed);
+    if (n == Chunk::kCapacity) {
+      Chunk* fresh = new Chunk;
+      c->next.store(fresh, std::memory_order_release);
+      tail = c = fresh;
+      n = 0;
+    }
+    c->spans[n] = span;
+    c->used.store(n + 1, std::memory_order_release);
+  }
+
+  std::uint32_t thread_track;
+  Chunk* head = nullptr;  // immutable after construction
+  Chunk* tail = nullptr;  // owning thread only
+};
+
+TraceSession::TraceSession()
+    : id_(g_next_session_id.fetch_add(1, std::memory_order_relaxed)),
+      origin_us_(wall_now_us()) {}
+
+TraceSession::~TraceSession() {
+  if (g_current.load(std::memory_order_relaxed) == this) {
+    g_current.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+TraceSession* TraceSession::current() noexcept {
+  return g_current.load(std::memory_order_acquire);
+}
+
+TraceSession* TraceSession::set_current(TraceSession* session) noexcept {
+  return g_current.exchange(session, std::memory_order_acq_rel);
+}
+
+std::uint32_t TraceSession::track(ClockDomain domain, std::string_view name) {
+  std::scoped_lock lock(mu_);
+  for (const TrackInfo& t : tracks_) {
+    if (t.domain == domain && t.name == name) return t.id;
+  }
+  const auto id = static_cast<std::uint32_t>(tracks_.size());
+  tracks_.push_back({id, domain, std::string(name)});
+  return id;
+}
+
+TraceSession::ThreadBuf& TraceSession::local_buffer(
+    std::uint32_t* thread_track_out) {
+  for (const CacheEntry& e : t_buffer_cache) {
+    if (e.session_id == id_) {
+      if (thread_track_out != nullptr) *thread_track_out = e.thread_track;
+      return *static_cast<ThreadBuf*>(e.buf);
+    }
+  }
+  // Slow path: register this thread with the session.
+  std::uint32_t track_id;
+  ThreadBuf* buf;
+  {
+    std::scoped_lock lock(mu_);
+    std::string name = t_thread_label.empty()
+                           ? "thread-" + std::to_string(buffers_.size())
+                           : t_thread_label;
+    track_id = static_cast<std::uint32_t>(tracks_.size());
+    tracks_.push_back({track_id, ClockDomain::kWall, std::move(name)});
+    buffers_.push_back(std::make_unique<ThreadBuf>(track_id));
+    buf = buffers_.back().get();
+  }
+  if (t_buffer_cache.size() >= 8) {
+    t_buffer_cache.erase(t_buffer_cache.begin());
+  }
+  t_buffer_cache.push_back({id_, buf, track_id});
+  if (thread_track_out != nullptr) *thread_track_out = track_id;
+  return *buf;
+}
+
+std::uint32_t TraceSession::thread_track() {
+  std::uint32_t track_id = 0;
+  local_buffer(&track_id);
+  return track_id;
+}
+
+void TraceSession::record(const Span& span) { local_buffer(nullptr).append(span); }
+
+void TraceSession::record_sim(std::uint32_t track_id, const char* name,
+                              Category cat, SimTime start, SimTime end,
+                              std::initializer_list<SpanArg> args) {
+  Span span;
+  span.name = name;
+  span.cat = cat;
+  span.domain = ClockDomain::kSim;
+  span.track = track_id;
+  span.start_us = start.us();
+  span.dur_us = (end - start).us();
+  std::size_t i = 0;
+  for (const SpanArg& a : args) {
+    if (i == span.args.size()) break;
+    span.args[i++] = a;
+  }
+  record(span);
+}
+
+void TraceSession::counter_add(std::string_view name, double delta) {
+  std::scoped_lock lock(metrics_mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+double TraceSession::counter(std::string_view name) const {
+  std::scoped_lock lock(metrics_mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+void TraceSession::hist_record(std::string_view name, double value) {
+  std::scoped_lock lock(metrics_mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(std::string(name), Hist{}).first;
+  }
+  Hist& h = it->second;
+  if (h.count == 0) {
+    h.min = h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  int exp = 0;
+  std::frexp(std::max(value, 0.0), &exp);
+  ++h.buckets[static_cast<std::size_t>(std::clamp(exp + 31, 0, 63))];
+}
+
+HistSummary TraceSession::hist(std::string_view name) const {
+  std::scoped_lock lock(metrics_mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end()) return {};
+  return {it->second.count, it->second.sum, it->second.min, it->second.max};
+}
+
+template <typename Fn>
+void TraceSession::for_each_span(Fn&& fn) const {
+  // mu_ held: blocks new thread registration; existing buffers append
+  // lock-free and we see a consistent prefix of each.
+  for (const auto& buf : buffers_) {
+    for (const Chunk* c = buf->head; c != nullptr;
+         c = c->next.load(std::memory_order_acquire)) {
+      const std::size_t n = c->used.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < n; ++i) fn(c->spans[i]);
+    }
+  }
+}
+
+CategoryTotals TraceSession::category_totals(
+    ClockDomain domain, std::string_view track_prefix) const {
+  std::scoped_lock lock(mu_);
+  std::vector<bool> match(tracks_.size(), track_prefix.empty());
+  if (!track_prefix.empty()) {
+    for (const TrackInfo& t : tracks_) {
+      match[t.id] = t.name.starts_with(track_prefix);
+    }
+  }
+  CategoryTotals totals;
+  for_each_span([&](const Span& s) {
+    if (s.domain != domain) return;
+    if (s.track < match.size() && !match[s.track]) return;
+    totals.us[static_cast<std::size_t>(s.cat)] += s.dur_us;
+  });
+  return totals;
+}
+
+std::vector<Span> TraceSession::snapshot() const {
+  std::scoped_lock lock(mu_);
+  std::vector<Span> out;
+  for_each_span([&](const Span& s) { out.push_back(s); });
+  return out;
+}
+
+std::vector<TrackInfo> TraceSession::tracks() const {
+  std::scoped_lock lock(mu_);
+  return tracks_;
+}
+
+std::size_t TraceSession::span_count() const {
+  std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for_each_span([&](const Span&) { ++n; });
+  return n;
+}
+
+void TraceSession::write_chrome_trace(std::ostream& os) const {
+  std::scoped_lock lock(mu_);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  // Two clock domains as two Chrome "processes" so timelines never mix.
+  auto pid_of = [](ClockDomain d) {
+    return d == ClockDomain::kWall ? 1 : 2;
+  };
+  sep();
+  os << R"({"ph":"M","pid":1,"name":"process_name","args":{"name":"wall-clock"}})";
+  sep();
+  os << R"({"ph":"M","pid":2,"name":"process_name","args":{"name":"simulated-time"}})";
+  for (const TrackInfo& t : tracks_) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid_of(t.domain) << ",\"tid\":" << t.id
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape(os, t.name);
+    os << "\"}}";
+  }
+
+  double max_ts = 0.0;
+  for_each_span([&](const Span& s) {
+    sep();
+    os << "{\"ph\":\"X\",\"pid\":" << pid_of(s.domain)
+       << ",\"tid\":" << s.track << ",\"ts\":";
+    json_number(os, s.start_us);
+    os << ",\"dur\":";
+    json_number(os, std::max(s.dur_us, 0.0));
+    os << ",\"name\":\"";
+    json_escape(os, s.name != nullptr ? s.name : "span");
+    os << "\",\"cat\":\"" << category_name(s.cat) << "\"";
+    bool has_args = false;
+    for (const SpanArg& a : s.args) {
+      if (a.key == nullptr) continue;
+      os << (has_args ? "," : ",\"args\":{") << "\"";
+      json_escape(os, a.key);
+      os << "\":";
+      json_number(os, a.value);
+      has_args = true;
+    }
+    if (has_args) os << "}";
+    os << "}";
+    max_ts = std::max(max_ts, s.start_us + s.dur_us);
+  });
+
+  {
+    std::scoped_lock metrics_lock(metrics_mu_);
+    for (const auto& [name, value] : counters_) {
+      sep();
+      os << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":";
+      json_number(os, max_ts);
+      os << ",\"name\":\"";
+      json_escape(os, name);
+      os << "\",\"args\":{\"value\":";
+      json_number(os, value);
+      os << "}}";
+    }
+    for (const auto& [name, h] : hists_) {
+      sep();
+      os << "{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"g\",\"ts\":";
+      json_number(os, max_ts);
+      os << ",\"name\":\"";
+      json_escape(os, name);
+      os << "\",\"args\":{\"count\":" << h.count << ",\"sum\":";
+      json_number(os, h.sum);
+      os << ",\"min\":";
+      json_number(os, h.min);
+      os << ",\"max\":";
+      json_number(os, h.max);
+      os << "}}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+bool TraceSession::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return os.good();
+}
+
+void set_thread_label(std::string label) { t_thread_label = std::move(label); }
+
+ScopedSpan::ScopedSpan(TraceSession* session, const char* name, Category cat,
+                       std::initializer_list<SpanArg> args)
+    : session_(session) {
+  if (session_ == nullptr) return;
+  span_.name = name;
+  span_.cat = cat;
+  span_.domain = ClockDomain::kWall;
+  span_.track = session_->thread_track();
+  std::size_t i = 0;
+  for (const SpanArg& a : args) {
+    if (i == span_.args.size()) break;
+    span_.args[i++] = a;
+  }
+  span_.start_us = session_->now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (session_ == nullptr) return;
+  span_.dur_us = session_->now_us() - span_.start_us;
+  session_->record(span_);
+}
+
+void ScopedSpan::arg(const char* key, double value) noexcept {
+  if (session_ == nullptr) return;
+  for (SpanArg& slot : span_.args) {
+    if (slot.key == nullptr || std::string_view(slot.key) == key) {
+      slot = {key, value};
+      return;
+    }
+  }
+}
+
+}  // namespace mh::obs

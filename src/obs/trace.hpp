@@ -1,0 +1,209 @@
+// Low-overhead runtime tracing + metrics (the observability layer the
+// batching runtime is profiled with).
+//
+// A TraceSession collects *spans* — named, categorised intervals — from many
+// threads into per-thread lock-free buffers: the recording fast path is one
+// array store plus one release increment, no mutex, no allocation except
+// when a 512-span chunk fills up. Two clock domains coexist:
+//
+//   - wall clock: real threads (BatchingEngine workers, ThreadPool, World
+//     ranks) timestamped with mh::wall_now_us();
+//   - simulated time: gpusim streams/SMs and clustersim per-node phases,
+//     timestamped with SimTime (the discrete-event clock).
+//
+// Spans land on named *tracks* (one per thread, GPU stream, cluster node,
+// ...). The exporter writes Chrome trace_event JSON — loadable in
+// chrome://tracing or https://ui.perfetto.dev — with the two clock domains
+// as two separate processes so their timelines never mix.
+//
+// Counters and log-bucketed histograms ride along for scalar metrics.
+// Aggregation (category_totals) is what bench_breakdown's phase profile is
+// built from.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/wall_clock.hpp"
+
+namespace mh::obs {
+
+/// Span categories — the phases of the paper's batching data path (§II-A,
+/// Figure 3) plus communication.
+enum class Category : std::uint8_t {
+  kPreprocess,   ///< CPU data threads fetching/hashing inputs
+  kBatchFlush,   ///< dispatcher staging a batch (the serial rearrange step)
+  kCpuCompute,   ///< CPU-side compute share of a batch
+  kGpuKernel,    ///< device kernel execution
+  kTransfer,     ///< PCIe H2D/D2H
+  kPageLock,     ///< host page-lock/unlock calls
+  kPostprocess,  ///< CPU data threads accumulating results
+  kComm,         ///< inter-node / inter-rank messaging
+  kOther,
+};
+inline constexpr std::size_t kCategoryCount = 9;
+const char* category_name(Category cat) noexcept;
+
+/// Which clock a span's timestamps live on.
+enum class ClockDomain : std::uint8_t { kWall, kSim };
+
+/// One optional key/value attached to a span (key == nullptr -> unused).
+/// Keys must be string literals (the span does not own them).
+struct SpanArg {
+  const char* key = nullptr;
+  double value = 0.0;
+};
+
+/// A closed interval on one track. POD so the per-thread buffers can store
+/// it lock-free; `name` and arg keys must outlive the session (literals).
+struct Span {
+  const char* name = nullptr;
+  Category cat = Category::kOther;
+  ClockDomain domain = ClockDomain::kWall;
+  std::uint32_t track = 0;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  std::array<SpanArg, 6> args{};
+};
+
+/// Summary of a log-bucketed histogram.
+struct HistSummary {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Name + domain of a registered track.
+struct TrackInfo {
+  std::uint32_t id = 0;
+  ClockDomain domain = ClockDomain::kWall;
+  std::string name;
+};
+
+/// Total span time per category (µs), as filled by category_totals().
+struct CategoryTotals {
+  std::array<double, kCategoryCount> us{};
+  double operator[](Category cat) const noexcept {
+    return us[static_cast<std::size_t>(cat)];
+  }
+  SimTime sim(Category cat) const noexcept {
+    return SimTime::micros((*this)[cat]);
+  }
+};
+
+class TraceSession {
+ public:
+  TraceSession();
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Register (or look up) a named track. Locks; cache the id.
+  std::uint32_t track(ClockDomain domain, std::string_view name);
+
+  /// The calling thread's wall-clock track, auto-registered from the
+  /// thread's label (set_thread_label) or as "thread-<n>".
+  std::uint32_t thread_track();
+
+  /// Microseconds on the wall clock since this session started.
+  double now_us() const noexcept { return wall_now_us() - origin_us_; }
+
+  /// Record one finished span. Lock-free except when a chunk fills.
+  void record(const Span& span);
+
+  /// Convenience: record a simulated-time span from SimTime endpoints.
+  void record_sim(std::uint32_t track_id, const char* name, Category cat,
+                  SimTime start, SimTime end,
+                  std::initializer_list<SpanArg> args = {});
+
+  // --- scalar metrics -----------------------------------------------------
+  void counter_add(std::string_view name, double delta);
+  double counter(std::string_view name) const;
+  void hist_record(std::string_view name, double value);
+  HistSummary hist(std::string_view name) const;
+
+  // --- aggregation / export ----------------------------------------------
+  /// Sum span durations per category over one clock domain, optionally
+  /// restricted to tracks whose name starts with `track_prefix`.
+  CategoryTotals category_totals(ClockDomain domain,
+                                 std::string_view track_prefix = {}) const;
+
+  /// All spans recorded so far (consistent per-thread prefixes).
+  std::vector<Span> snapshot() const;
+  std::vector<TrackInfo> tracks() const;
+  std::size_t span_count() const;
+
+  /// Chrome trace_event JSON (chrome://tracing, Perfetto). Wall-clock
+  /// tracks under pid 1, simulated-time tracks under pid 2.
+  void write_chrome_trace(std::ostream& os) const;
+  /// Write to `path`; returns false (and stays silent) on I/O failure.
+  bool write_chrome_trace_file(const std::string& path) const;
+
+  // --- process-global session (nullable) ---------------------------------
+  static TraceSession* current() noexcept;
+  /// Install (or clear, with nullptr) the global session; returns previous.
+  static TraceSession* set_current(TraceSession* session) noexcept;
+
+ private:
+  struct Chunk;
+  struct ThreadBuf;
+
+  ThreadBuf& local_buffer(std::uint32_t* thread_track_out);
+  template <typename Fn>
+  void for_each_span(Fn&& fn) const;
+
+  const std::uint64_t id_;      // process-unique, for thread-local caching
+  const double origin_us_;
+
+  mutable std::mutex mu_;       // registry: buffers + tracks
+  std::vector<std::unique_ptr<ThreadBuf>> buffers_;
+  std::vector<TrackInfo> tracks_;
+
+  mutable std::mutex metrics_mu_;
+  std::map<std::string, double, std::less<>> counters_;
+  struct Hist {
+    std::size_t count = 0;
+    double sum = 0.0, min = 0.0, max = 0.0;
+    std::array<std::uint64_t, 64> buckets{};
+  };
+  std::map<std::string, Hist, std::less<>> hists_;
+};
+
+/// Label the calling thread for trace tracks (e.g. "cpu-pool/3"); applies
+/// to tracks auto-registered after the call.
+void set_thread_label(std::string label);
+
+/// RAII wall-clock span on the calling thread's track. A null session makes
+/// every operation a no-op, so call sites need no `if (trace)` guards.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSession* session, const char* name, Category cat,
+             std::initializer_list<SpanArg> args = {});
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach/overwrite an arg after construction (first free slot).
+  void arg(const char* key, double value) noexcept;
+
+ private:
+  TraceSession* session_;
+  Span span_;
+};
+
+}  // namespace mh::obs

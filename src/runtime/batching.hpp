@@ -16,6 +16,20 @@
 // The "kind" of a task combines the identity of its compute function with a
 // user-defined hash of the input shape (paper §II-A footnote 2), so that a
 // GPU batch is homogeneous enough to run as one aggregated kernel.
+//
+// Locking discipline: mu_ protects the pending queues, stats, and rate
+// estimators. The dispatcher *stages* ready batches under mu_ and submits
+// them to the worker pools only after releasing it — worker lambdas
+// re-acquire mu_ in complete_one()/rate recording, so submitting while
+// locked would serialize every batch against its own workers (and deadlock
+// outright if ThreadPool::submit blocks on a bounded queue).
+//
+// Flush-reason accounting: every per-kind batch dispatch is attributed to
+// exactly one of {timer, size, explicit}, so
+//   timer_flushes + size_flushes + explicit_flushes == batches
+// holds at all times. A size trigger on one kind dispatches only that kind;
+// the other kinds keep aggregating until their own trigger, timer, or an
+// explicit flush (this is what preserves batch amortisation — ablation #1).
 #pragma once
 
 #include <chrono>
@@ -30,6 +44,7 @@
 
 #include "common/diagnostics.hpp"
 #include "common/hash.hpp"
+#include "obs/trace.hpp"
 #include "runtime/dispatch.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -49,6 +64,12 @@ class BatchingEngine {
     std::chrono::milliseconds flush_interval{5};
     /// Dispatch immediately once a kind has this many pending items.
     std::size_t max_batch = 256;
+    /// Bound on the CPU pool's task queue (0 = unbounded). With a bound the
+    /// dispatcher applies backpressure instead of queueing without limit.
+    std::size_t cpu_queue_capacity = 0;
+    /// Span/metrics sink; nullptr falls back to obs::TraceSession::current()
+    /// at construction (still tracing-off if that is null too).
+    obs::TraceSession* trace = nullptr;
   };
 
   /// The three developer-supplied pieces of one task kind. compute_gpu may
@@ -74,8 +95,11 @@ class BatchingEngine {
 
   explicit BatchingEngine(Config config)
       : config_(config),
-        cpu_pool_(std::max<std::size_t>(1, config.cpu_threads)),
-        gpu_driver_(1) {
+        trace_(config.trace != nullptr ? config.trace
+                                       : obs::TraceSession::current()),
+        cpu_pool_(std::max<std::size_t>(1, config.cpu_threads), "cpu-pool",
+                  config.cpu_queue_capacity),
+        gpu_driver_(1, "gpu-driver") {
     MH_CHECK(config_.max_batch >= 1, "batch cap must be positive");
     dispatcher_ = std::thread([this] { dispatcher_loop(); });
   }
@@ -128,6 +152,9 @@ class BatchingEngine {
       std::scoped_lock lock(mu_);
       MH_CHECK(!stop_, "engine is shutting down");
       Kind& kind = *kinds_.at(id);
+      if (kind.pending.empty()) {
+        kind.oldest_pending = std::chrono::steady_clock::now();
+      }
       kind.pending.push_back(std::move(input));
       ++stats_.submitted;
       if (kind.pending.size() >= config_.max_batch) {
@@ -151,15 +178,23 @@ class BatchingEngine {
   /// Rethrows the first compute/postprocess exception.
   void wait() {
     flush();
-    std::unique_lock lock(mu_);
-    done_cv_.wait(lock, [this] {
-      return stats_.completed == stats_.submitted && all_pending_empty();
-    });
-    std::exception_ptr error = first_error_;
-    first_error_ = nullptr;
-    lock.unlock();
+    {
+      std::unique_lock lock(mu_);
+      done_cv_.wait(lock, [this] {
+        return stats_.completed == stats_.submitted && all_pending_empty();
+      });
+    }
     cpu_pool_.wait_idle();
     gpu_driver_.wait_idle();
+    // Check for errors only after the pools have drained: a postprocess
+    // task completing during wait_idle() may record one, and a snapshot
+    // taken before the drain would silently drop it until a later wait().
+    std::exception_ptr error;
+    {
+      std::scoped_lock lock(mu_);
+      error = first_error_;
+      first_error_ = nullptr;
+    }
     if (error) std::rethrow_exception(error);
   }
 
@@ -173,9 +208,25 @@ class BatchingEngine {
     explicit Kind(KindSpec s) : spec(std::move(s)) {}
     KindSpec spec;
     std::vector<Input> pending;
+    /// When the oldest currently-pending item arrived (valid while
+    /// pending is non-empty); bounds how long a partial batch can sit
+    /// while other kinds' size triggers keep waking the dispatcher.
+    std::chrono::steady_clock::time_point oldest_pending{};
     bool size_trigger = false;
     RateEstimator cpu_rate;
     RateEstimator gpu_rate;
+  };
+
+  enum FlushReason : int { kTimerFlush = 0, kSizeFlush = 1, kExplicitFlush = 2 };
+
+  /// A batch staged under mu_ for submission after mu_ is released.
+  struct StagedBatch {
+    Kind* kind = nullptr;
+    KindId kind_id = 0;
+    std::vector<Input> items;
+    std::size_t ncpu = 0;
+    double split = 0.0;
+    FlushReason reason = kTimerFlush;
   };
 
   bool all_pending_empty() const {
@@ -199,6 +250,8 @@ class BatchingEngine {
   }
 
   void dispatcher_loop() {
+    obs::set_thread_label("batch-dispatcher");
+    std::vector<StagedBatch> staged;
     std::unique_lock lock(mu_);
     for (;;) {
       const bool timed_out = !dispatch_cv_.wait_for(
@@ -212,43 +265,98 @@ class BatchingEngine {
       if (stop_) return;
       const bool explicit_flush = flush_requested_;
       flush_requested_ = false;
-      for (auto& kind_ptr : kinds_) {
-        Kind& kind = *kind_ptr;
-        if (kind.pending.empty()) continue;
-        if (explicit_flush) {
-          ++stats_.explicit_flushes;
-        } else if (kind.size_trigger) {
-          ++stats_.size_flushes;
-        } else if (timed_out) {
-          ++stats_.timer_flushes;
-        }
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t id = 0; id < kinds_.size(); ++id) {
+        Kind& kind = *kinds_[id];
+        const bool size_trigger = kind.size_trigger;
         kind.size_trigger = false;
-        dispatch_batch_locked(kind);
+        if (kind.pending.empty()) continue;
+        // Attribute this kind's dispatch to exactly one reason — or leave
+        // the kind aggregating: a size trigger on kind A must not break up
+        // kind B's still-small batch (that is ablation #1's amortisation).
+        FlushReason reason;
+        if (explicit_flush) {
+          reason = kExplicitFlush;
+          ++stats_.explicit_flushes;
+        } else if (size_trigger) {
+          reason = kSizeFlush;
+          ++stats_.size_flushes;
+        } else if (timed_out ||
+                   now - kind.oldest_pending >= config_.flush_interval) {
+          // A direct timeout, or a batch that outwaited its window while
+          // other kinds' size triggers kept the dispatcher busy.
+          reason = kTimerFlush;
+          ++stats_.timer_flushes;
+        } else {
+          continue;  // woken for another kind's trigger: keep aggregating
+        }
+        staged.push_back(stage_batch_locked(kind, id, reason));
       }
+      if (staged.empty()) continue;
+      // Submit with mu_ released: worker lambdas take mu_ immediately, and
+      // a bounded cpu_pool_ may block submit() for backpressure.
+      lock.unlock();
+      for (StagedBatch& batch : staged) submit_batch(std::move(batch));
+      staged.clear();
+      lock.lock();
     }
   }
 
-  void dispatch_batch_locked(Kind& kind) {
-    std::vector<Input> batch = std::move(kind.pending);
+  StagedBatch stage_batch_locked(Kind& kind, KindId id, FlushReason reason) {
+    StagedBatch staged;
+    staged.kind = &kind;
+    staged.kind_id = id;
+    staged.items = std::move(kind.pending);
     kind.pending.clear();
+    staged.reason = reason;
     ++stats_.batches;
-    stats_.max_batch_seen = std::max(stats_.max_batch_seen, batch.size());
+    stats_.max_batch_seen = std::max(stats_.max_batch_seen, staged.items.size());
 
-    const double k = split_fraction_locked(kind);
-    const std::size_t ncpu = cpu_share(batch.size(), k);
-    stats_.cpu_items += ncpu;
-    stats_.gpu_items += batch.size() - ncpu;
+    staged.split = split_fraction_locked(kind);
+    staged.ncpu = cpu_share(staged.items.size(), staged.split);
+    // Auto-tune cold start: rounding (e.g. cpu_share(1, 0.5) == 1) can starve
+    // the GPU forever — gpu_rate never gets a sample, so the split never
+    // leaves 0.5. Reserve at least one warm-up item for the GPU until its
+    // rate estimator has seen a batch.
+    if (config_.cpu_fraction < 0.0 && kind.spec.compute_gpu &&
+        !kind.gpu_rate.ready() && staged.ncpu == staged.items.size()) {
+      staged.ncpu = staged.items.size() - 1;
+    }
+    stats_.cpu_items += staged.ncpu;
+    stats_.gpu_items += staged.items.size() - staged.ncpu;
+    return staged;
+  }
+
+  void submit_batch(StagedBatch staged) {
+    obs::ScopedSpan span(
+        trace_, "batch", obs::Category::kBatchFlush,
+        {{"kind", static_cast<double>(staged.kind_id)},
+         {"reason", static_cast<double>(staged.reason)},
+         {"cpu_frac", staged.split},
+         {"items", static_cast<double>(staged.items.size())},
+         {"ncpu", static_cast<double>(staged.ncpu)}});
+    if (trace_ != nullptr) {
+      trace_->counter_add("batching.batches", 1.0);
+      trace_->hist_record("batching.batch_items",
+                          static_cast<double>(staged.items.size()));
+    }
+    Kind* kptr = staged.kind;
+    const std::size_t ncpu = staged.ncpu;
+    const double kind_id = static_cast<double>(staged.kind_id);
 
     // GPU side: one aggregated call for the tail of the batch.
-    if (batch.size() > ncpu) {
+    if (staged.items.size() > ncpu) {
       auto gpu_items = std::make_shared<std::vector<Input>>(
-          std::make_move_iterator(batch.begin() +
+          std::make_move_iterator(staged.items.begin() +
                                   static_cast<std::ptrdiff_t>(ncpu)),
-          std::make_move_iterator(batch.end()));
-      Kind* kptr = &kind;
-      gpu_driver_.submit([this, kptr, gpu_items] {
+          std::make_move_iterator(staged.items.end()));
+      gpu_driver_.submit([this, kptr, kind_id, gpu_items] {
         std::vector<Output> outs;
         try {
+          obs::ScopedSpan gpu_span(
+              trace_, "gpu-batch", obs::Category::kGpuKernel,
+              {{"kind", kind_id},
+               {"items", static_cast<double>(gpu_items->size())}});
           const auto t0 = std::chrono::steady_clock::now();
           outs = kptr->spec.compute_gpu(
               std::span<const Input>{gpu_items->data(), gpu_items->size()});
@@ -266,8 +374,11 @@ class BatchingEngine {
         }
         for (Output& out : outs) {
           auto boxed = std::make_shared<Output>(std::move(out));
-          cpu_pool_.submit([this, kptr, boxed] {
+          cpu_pool_.submit([this, kptr, kind_id, boxed] {
             try {
+              obs::ScopedSpan post_span(trace_, "postprocess",
+                                        obs::Category::kPostprocess,
+                                        {{"kind", kind_id}});
               kptr->spec.postprocess(std::move(*boxed));
             } catch (...) {
               record_error(std::current_exception());
@@ -281,18 +392,24 @@ class BatchingEngine {
     // CPU side: one worker task per item (they are independent MADNESS
     // tasks; the pool spreads them over the cpu_threads workers).
     for (std::size_t i = 0; i < ncpu; ++i) {
-      auto boxed = std::make_shared<Input>(std::move(batch[i]));
-      Kind* kptr = &kind;
-      cpu_pool_.submit([this, kptr, boxed] {
+      auto boxed = std::make_shared<Input>(std::move(staged.items[i]));
+      cpu_pool_.submit([this, kptr, kind_id, boxed] {
         try {
-          const auto t0 = std::chrono::steady_clock::now();
-          Output out = kptr->spec.compute_cpu(*boxed);
-          const std::chrono::duration<double> dt =
-              std::chrono::steady_clock::now() - t0;
-          {
+          Output out = [&] {
+            obs::ScopedSpan cpu_span(trace_, "cpu-compute",
+                                     obs::Category::kCpuCompute,
+                                     {{"kind", kind_id}});
+            const auto t0 = std::chrono::steady_clock::now();
+            Output result = kptr->spec.compute_cpu(*boxed);
+            const std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - t0;
             std::scoped_lock lock(mu_);
             kptr->cpu_rate.record(1, dt.count());
-          }
+            return result;
+          }();
+          obs::ScopedSpan post_span(trace_, "postprocess",
+                                    obs::Category::kPostprocess,
+                                    {{"kind", kind_id}});
           kptr->spec.postprocess(std::move(out));
         } catch (...) {
           record_error(std::current_exception());
@@ -314,6 +431,7 @@ class BatchingEngine {
   }
 
   Config config_;
+  obs::TraceSession* trace_;
   mutable std::mutex mu_;
   std::condition_variable dispatch_cv_;
   std::condition_variable done_cv_;

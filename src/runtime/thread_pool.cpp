@@ -1,14 +1,23 @@
 #include "runtime/thread_pool.hpp"
 
 #include "common/diagnostics.hpp"
+#include "obs/trace.hpp"
 
 namespace mh::rt {
+namespace {
+// The pool (if any) whose worker is the current thread; lets submit()
+// exempt worker threads from the queue bound so task-spawned tasks cannot
+// deadlock a full queue against its own drain.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
 
-ThreadPool::ThreadPool(std::size_t nthreads) {
+ThreadPool::ThreadPool(std::size_t nthreads, std::string name,
+                       std::size_t queue_capacity)
+    : name_(std::move(name)), queue_capacity_(queue_capacity) {
   MH_CHECK(nthreads >= 1, "pool needs at least one worker");
   workers_.reserve(nthreads);
   for (std::size_t i = 0; i < nthreads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -18,13 +27,23 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   work_cv_.notify_all();
+  space_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::is_worker_thread() const noexcept {
+  return t_current_pool == this;
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   MH_CHECK(task != nullptr, "null task");
   {
-    std::scoped_lock lock(mu_);
+    std::unique_lock lock(mu_);
+    if (queue_capacity_ > 0 && !is_worker_thread()) {
+      space_cv_.wait(lock, [this] {
+        return stop_ || queue_.size() < queue_capacity_;
+      });
+    }
     MH_CHECK(!stop_, "pool is shutting down");
     queue_.push_back(std::move(task));
   }
@@ -46,7 +65,11 @@ std::size_t ThreadPool::executed() const {
   return executed_;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  t_current_pool = this;
+  if (!name_.empty()) {
+    obs::set_thread_label(name_ + "/" + std::to_string(index));
+  }
   for (;;) {
     std::function<void()> task;
     {
@@ -57,6 +80,7 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
+    space_cv_.notify_one();
     std::exception_ptr error;
     try {
       task();

@@ -5,6 +5,12 @@
 // happens above it in the BatchingEngine. The first exception thrown by any
 // task is captured and re-thrown from wait_idle(), so tests and callers see
 // task failures instead of silent drops.
+//
+// A pool may be given a name (its workers label their trace tracks
+// "<name>/<i>" for src/obs sessions) and a queue capacity: with a bound,
+// submit() from a non-worker thread blocks until the queue drains below the
+// bound (backpressure), while worker threads always bypass the bound so
+// task-spawned tasks cannot deadlock the pool against itself.
 #pragma once
 
 #include <condition_variable>
@@ -13,6 +19,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,15 +27,19 @@ namespace mh::rt {
 
 class ThreadPool {
  public:
-  /// Start `nthreads` workers (>= 1).
-  explicit ThreadPool(std::size_t nthreads);
+  /// Start `nthreads` workers (>= 1). `name` labels worker trace tracks;
+  /// `queue_capacity` of 0 means unbounded.
+  explicit ThreadPool(std::size_t nthreads, std::string name = {},
+                      std::size_t queue_capacity = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task. Safe to call from worker threads (tasks may spawn
-  /// tasks). Throws if the pool is shutting down.
+  /// tasks; workers are exempt from the queue bound). Blocks external
+  /// callers while the queue is at capacity. Throws if the pool is shutting
+  /// down.
   void submit(std::function<void()> task);
 
   /// Block until the queue is empty and every worker is idle, then rethrow
@@ -36,15 +47,20 @@ class ThreadPool {
   void wait_idle();
 
   std::size_t size() const noexcept { return workers_.size(); }
+  const std::string& name() const noexcept { return name_; }
   /// Total tasks completed (including ones that threw).
   std::size_t executed() const;
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
+  bool is_worker_thread() const noexcept;
 
+  std::string name_;
+  std::size_t queue_capacity_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait here for tasks
   std::condition_variable idle_cv_;   // wait_idle waits here
+  std::condition_variable space_cv_;  // bounded submit waits here
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;

@@ -8,7 +8,10 @@ World::World(std::size_t ranks) {
   MH_CHECK(ranks >= 1, "world needs at least one rank");
   pools_.reserve(ranks);
   for (std::size_t r = 0; r < ranks; ++r) {
-    pools_.push_back(std::make_unique<rt::ThreadPool>(1));
+    // Named pool: each rank's single worker labels its trace track
+    // "rank<r>/0" so World tasks land on per-rank timelines.
+    pools_.push_back(
+        std::make_unique<rt::ThreadPool>(1, "rank" + std::to_string(r)));
   }
 }
 
@@ -20,22 +23,28 @@ World::~World() {
   }
 }
 
-void World::enqueue(std::size_t rank, std::function<void()> fn) {
+void World::enqueue(std::size_t rank, std::function<void()> fn,
+                    const char* span_name, obs::Category cat) {
   MH_CHECK(rank < pools_.size(), "rank out of range");
   MH_CHECK(fn != nullptr, "null task");
   {
     std::scoped_lock lock(mu_);
     ++outstanding_;
   }
-  pools_[rank]->submit([this, fn = std::move(fn)] {
-    try {
-      fn();
-    } catch (...) {
-      std::scoped_lock lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
-    }
-    complete_one();
-  });
+  // Capture the session at enqueue time so a task cannot record into a
+  // session installed after it was queued (and torn down before it runs).
+  obs::TraceSession* trace = obs::TraceSession::current();
+  pools_[rank]->submit(
+      [this, fn = std::move(fn), trace, span_name, cat] {
+        try {
+          obs::ScopedSpan span(trace, span_name, cat);
+          fn();
+        } catch (...) {
+          std::scoped_lock lock(mu_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+        complete_one();
+      });
 }
 
 void World::complete_one() {
@@ -46,7 +55,7 @@ void World::complete_one() {
 }
 
 void World::submit(std::size_t rank, std::function<void()> task) {
-  enqueue(rank, std::move(task));
+  enqueue(rank, std::move(task), "task", obs::Category::kCpuCompute);
 }
 
 void World::send(std::size_t from, std::size_t to, double bytes,
@@ -58,7 +67,8 @@ void World::send(std::size_t from, std::size_t to, double bytes,
     ++stats_.messages;
     stats_.bytes += bytes;
   }
-  enqueue(to, std::move(handler));
+  enqueue(to, std::move(handler), from != to ? "am" : "task",
+          from != to ? obs::Category::kComm : obs::Category::kCpuCompute);
 }
 
 void World::fence() {

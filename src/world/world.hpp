@@ -17,6 +17,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mh::world {
@@ -53,7 +54,8 @@ class World {
   Stats stats() const;
 
  private:
-  void enqueue(std::size_t rank, std::function<void()> fn);
+  void enqueue(std::size_t rank, std::function<void()> fn,
+               const char* span_name, obs::Category cat);
   void complete_one();
 
   std::vector<std::unique_ptr<rt::ThreadPool>> pools_;

@@ -1,0 +1,350 @@
+// Tests for src/obs: span recording on both clock domains, nesting, thread
+// tracks, counters/histograms, aggregation, and the Chrome trace exporter
+// (the JSON it writes must actually parse).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mh::obs {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON syntax checker — enough to assert the
+// exporter emits well-formed JSON (matching quotes/brackets, no trailing
+// commas, valid numbers), without pulling in a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ - 1]));
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonChecker, SanityOnHandWrittenCases) {
+  EXPECT_TRUE(JsonChecker(R"({"a":[1,2.5e-3,"x\"y"],"b":null})").valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":1,})").valid());
+  EXPECT_FALSE(JsonChecker(R"([1,2)").valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":01x})").valid());
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(TraceSession, CategoryNamesAreDistinct) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    const char* n = category_name(static_cast<Category>(i));
+    ASSERT_NE(n, nullptr);
+    names.emplace_back(n);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(TraceSession, RecordsSpansFromManyThreads) {
+  TraceSession session;
+  constexpr int kThreads = 8, kPerThread = 2000;  // spills 512-span chunks
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&session, t] {
+      set_thread_label("worker-" + std::to_string(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        ScopedSpan span(&session, "tick", Category::kCpuCompute,
+                        {{"i", static_cast<double>(i)}});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(session.span_count(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(session.snapshot().size(), session.span_count());
+  // Every labelled thread got its own wall-clock track.
+  int worker_tracks = 0;
+  for (const auto& info : session.tracks()) {
+    if (info.name.rfind("worker-", 0) == 0) {
+      EXPECT_EQ(info.domain, ClockDomain::kWall);
+      ++worker_tracks;
+    }
+  }
+  EXPECT_EQ(worker_tracks, kThreads);
+}
+
+TEST(TraceSession, ScopedSpansNestOnOneTrack) {
+  TraceSession session;
+  {
+    ScopedSpan outer(&session, "outer", Category::kPreprocess);
+    std::this_thread::sleep_for(1ms);
+    {
+      ScopedSpan inner(&session, "inner", Category::kPostprocess);
+      std::this_thread::sleep_for(1ms);
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  const auto spans = session.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner closes (and records) first; outer must contain it.
+  const Span& inner = spans[0];
+  const Span& outer = spans[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(inner.track, outer.track);
+  EXPECT_LE(outer.start_us, inner.start_us);
+  EXPECT_GE(outer.start_us + outer.dur_us, inner.start_us + inner.dur_us);
+  EXPECT_GT(inner.dur_us, 0.0);
+}
+
+TEST(TraceSession, NullSessionScopedSpanIsANoOp) {
+  ScopedSpan span(nullptr, "nothing", Category::kOther);
+  span.arg("k", 1.0);  // must not crash
+}
+
+TEST(TraceSession, ThreadPoolWorkersLabelTheirTracks) {
+  TraceSession session;
+  rt::ThreadPool pool(2, "pool");
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] {
+      ScopedSpan span(&session, "task", Category::kCpuCompute);
+      ++ran;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 16);
+  int pool_tracks = 0;
+  for (const auto& info : session.tracks()) {
+    if (info.name == "pool/0" || info.name == "pool/1") ++pool_tracks;
+  }
+  EXPECT_GE(pool_tracks, 1);  // both only if both workers got a task
+}
+
+TEST(TraceSession, SimDomainTotalsRespectTrackPrefix) {
+  TraceSession session;
+  const auto a = session.track(ClockDomain::kSim, "node0/phases");
+  const auto a2 = session.track(ClockDomain::kSim, "node01/phases");
+  EXPECT_NE(a, a2);
+  EXPECT_EQ(a, session.track(ClockDomain::kSim, "node0/phases"));  // dedup
+  session.record_sim(a, "kernels", Category::kGpuKernel, SimTime::micros(10),
+                     SimTime::micros(40));
+  session.record_sim(a, "h2d", Category::kTransfer, SimTime::micros(0),
+                     SimTime::micros(10), {{"bytes", 4096.0}});
+  session.record_sim(a2, "kernels", Category::kGpuKernel, SimTime::micros(0),
+                     SimTime::micros(500));
+  {
+    ScopedSpan wall(&session, "cpu", Category::kGpuKernel);
+    std::this_thread::sleep_for(100us);
+  }
+
+  // "node0/" must not swallow node01's track.
+  const auto only_a = session.category_totals(ClockDomain::kSim, "node0/");
+  EXPECT_DOUBLE_EQ(only_a[Category::kGpuKernel], 30.0);
+  EXPECT_DOUBLE_EQ(only_a[Category::kTransfer], 10.0);
+  EXPECT_DOUBLE_EQ(only_a.sim(Category::kGpuKernel).us(), 30.0);
+
+  const auto all_sim = session.category_totals(ClockDomain::kSim);
+  EXPECT_DOUBLE_EQ(all_sim[Category::kGpuKernel], 530.0);
+
+  // The wall-clock span stays in its own domain.
+  const auto wall = session.category_totals(ClockDomain::kWall);
+  EXPECT_GT(wall[Category::kGpuKernel], 0.0);
+  EXPECT_DOUBLE_EQ(wall[Category::kTransfer], 0.0);
+}
+
+TEST(TraceSession, CountersAccumulateAndHistogramsSummarize) {
+  TraceSession session;
+  session.counter_add("batches", 1.0);
+  session.counter_add("batches", 2.5);
+  EXPECT_DOUBLE_EQ(session.counter("batches"), 3.5);
+  EXPECT_DOUBLE_EQ(session.counter("missing"), 0.0);
+
+  session.hist_record("items", 4.0);
+  session.hist_record("items", 64.0);
+  session.hist_record("items", 1.0);
+  const HistSummary h = session.hist("items");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 69.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 64.0);
+  EXPECT_EQ(session.hist("missing").count, 0u);
+}
+
+TEST(TraceSession, CurrentSessionInstallAndRestore) {
+  ASSERT_EQ(TraceSession::current(), nullptr);
+  TraceSession session;
+  TraceSession* prev = TraceSession::set_current(&session);
+  EXPECT_EQ(prev, nullptr);
+  EXPECT_EQ(TraceSession::current(), &session);
+  {
+    ScopedSpan span(TraceSession::current(), "global", Category::kOther);
+  }
+  EXPECT_EQ(TraceSession::set_current(nullptr), &session);
+  EXPECT_EQ(TraceSession::current(), nullptr);
+  EXPECT_EQ(session.span_count(), 1u);
+}
+
+TEST(TraceSession, ChromeTraceIsValidJsonWithBothClockDomains) {
+  TraceSession session;
+  {
+    // Name with characters the exporter must escape.
+    ScopedSpan span(&session, "wall \"quoted\"\\slash", Category::kCpuCompute,
+                    {{"x", 1.5}});
+  }
+  const auto sim = session.track(ClockDomain::kSim, "node0/phases");
+  session.record_sim(sim, "kernels", Category::kGpuKernel, SimTime::micros(5),
+                     SimTime::micros(25), {{"sms", 16.0}});
+  session.counter_add("batching.batches", 2.0);
+  session.hist_record("batching.batch_items", 60.0);
+
+  std::ostringstream os;
+  session.write_chrome_trace(os);
+  const std::string json = os.str();
+
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  // Both clock domains present as separate processes.
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  EXPECT_NE(json.find("batching.batches"), std::string::npos);
+  EXPECT_NE(json.find("node0/phases"), std::string::npos);
+}
+
+TEST(TraceSession, GpuDeviceEmitsSimSpans) {
+  TraceSession session;
+  gpu::GpuDevice device(gpu::DeviceSpec::tesla_m2090(), 2);
+  device.set_trace(&session, "gpu/");
+  SimTime t = device.page_lock(SimTime::zero());
+  t = device.enqueue_transfer(0, 1 << 20, /*pinned=*/true, t);
+  t = device.enqueue_kernel(0, 8, SimTime::micros(100), t);
+  device.enqueue_transfer(0, 1 << 20, /*pinned=*/true, t, /*to_device=*/false);
+
+  const auto totals = session.category_totals(ClockDomain::kSim, "gpu/");
+  EXPECT_GT(totals[Category::kPageLock], 0.0);
+  EXPECT_GT(totals[Category::kTransfer], 0.0);
+  EXPECT_GT(totals[Category::kGpuKernel], 0.0);
+
+  bool have_stream0 = false, have_copy = false, have_host = false;
+  for (const auto& info : session.tracks()) {
+    if (info.name == "gpu/stream0") have_stream0 = true;
+    if (info.name == "gpu/copy-engine") have_copy = true;
+    if (info.name == "gpu/host") have_host = true;
+  }
+  EXPECT_TRUE(have_stream0);
+  EXPECT_TRUE(have_copy);
+  EXPECT_TRUE(have_host);
+}
+
+}  // namespace
+}  // namespace mh::obs

@@ -2,9 +2,13 @@
 // asynchronous batching engine (real threads; semantics, not speed).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <mutex>
+#include <random>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/diagnostics.hpp"
@@ -54,6 +58,52 @@ TEST(ThreadPool, WaitIdleRethrowsFirstTaskError) {
 TEST(ThreadPool, RejectsNullTask) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.submit(nullptr), Error);
+}
+
+TEST(ThreadPool, ReportsItsName) {
+  ThreadPool pool(1, "io");
+  EXPECT_EQ(pool.name(), "io");
+}
+
+TEST(ThreadPool, BoundedQueueBlocksExternalSubmitters) {
+  ThreadPool pool(1, "bp", /*queue_capacity=*/1);
+  std::atomic<bool> gate_open{false}, gate_running{false};
+  pool.submit([&] {
+    gate_running = true;
+    while (!gate_open) std::this_thread::sleep_for(100us);
+  });
+  while (!gate_running) std::this_thread::sleep_for(100us);
+
+  // Worker busy, capacity 1: the first queued task fits, the second submit
+  // must block until the queue drains.
+  std::atomic<int> accepted{0}, ran{0};
+  std::thread submitter([&] {
+    for (int i = 0; i < 3; ++i) {
+      pool.submit([&ran] { ++ran; });
+      ++accepted;
+    }
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(accepted.load(), 1);  // backpressure engaged
+  gate_open = true;
+  submitter.join();
+  pool.wait_idle();
+  EXPECT_EQ(accepted.load(), 3);
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, WorkersBypassTheQueueBound) {
+  // Task-spawned tasks must not deadlock against a full queue: workers are
+  // exempt from the bound.
+  ThreadPool pool(1, "spawn", /*queue_capacity=*/1);
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] { ++ran; });  // would block forever if bounded here
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 32);
 }
 
 TEST(ThreadPool, RequiresWorkers) { EXPECT_THROW(ThreadPool(0), Error); }
@@ -332,6 +382,257 @@ TEST(BatchingEngine, KindHashMixesUserHash) {
   const KindId k1 = engine.register_kind({cpu, nullptr, [](int&&) {}, 100});
   const KindId k2 = engine.register_kind({cpu, nullptr, [](int&&) {}, 200});
   EXPECT_NE(engine.kind_hash(k1), engine.kind_hash(k2));
+}
+
+// Regression (dispatch while holding mu_): the dispatcher used to call
+// ThreadPool::submit with mu_ held. With a bounded CPU queue that is a
+// deterministic deadlock — submit() blocks on backpressure while every
+// worker blocks on mu_ in complete_one()/rate recording, so the queue can
+// never drain. The fixed dispatcher stages batches under the lock and
+// submits after releasing it; this test completes instead of hanging.
+TEST(BatchingEngine, DispatchReleasesLockUnderBackpressure) {
+  auto cfg = quick_config(1.0);
+  cfg.cpu_threads = 1;
+  cfg.cpu_queue_capacity = 2;
+  cfg.max_batch = 16;
+  Engine engine(cfg);
+  std::atomic<int> done{0};
+  const KindId kind = engine.register_kind(
+      {[](const int& x) {
+         std::this_thread::sleep_for(1ms);
+         return x;
+       },
+       nullptr,
+       [&](int&&) { ++done; },
+       20});
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 16; ++i) engine.submit(kind, i);
+    engine.wait();
+  }
+  EXPECT_EQ(done.load(), 32);
+  EXPECT_EQ(engine.stats().completed, 32u);
+}
+
+// Regression (errors dropped during the pool drain): wait() used to snapshot
+// first_error_ before cpu_pool_.wait_idle(), so an exception recorded by a
+// task still finishing inside the drain was silently deferred to a later
+// wait(). The fix re-checks after the pools are idle: one wait() call must
+// surface an error no matter when during that call it was recorded, and a
+// surfaced error is consumed exactly once.
+TEST(BatchingEngine, WaitSurfacesErrorsRecordedDuringDrain) {
+  Engine engine(quick_config(1.0));
+  const KindId kind = engine.register_kind(
+      {[](const int& x) { return x; },
+       nullptr,
+       [](int&& out) {
+         if (out == 7) {
+           std::this_thread::sleep_for(20ms);  // error lands late in the wait
+           throw std::runtime_error("late postprocess failure");
+         }
+       },
+       21});
+  for (int i = 0; i < 10; ++i) engine.submit(kind, i);
+  EXPECT_THROW(engine.wait(), std::runtime_error);
+  EXPECT_NO_THROW(engine.wait());  // consumed, not re-reported
+
+  // Adversarial schedule: a producer races poisoned submits against wait()
+  // calls. No error may be stranded once the engine is quiescent.
+  std::atomic<bool> producing{true};
+  std::thread producer([&] {
+    for (int r = 0; r < 20; ++r) {
+      engine.submit(kind, 7);
+      std::this_thread::sleep_for(1ms);
+    }
+    producing = false;
+  });
+  int errors = 0;
+  while (producing) {
+    try {
+      engine.wait();
+    } catch (const std::runtime_error&) {
+      ++errors;
+    }
+  }
+  producer.join();
+  // At most one trailing error can remain; after that, waits are clean.
+  try {
+    engine.wait();
+  } catch (const std::runtime_error&) {
+    ++errors;
+  }
+  EXPECT_GE(errors, 1);
+  EXPECT_NO_THROW(engine.wait());
+  EXPECT_EQ(engine.stats().completed, engine.stats().submitted);
+}
+
+// Regression (flush-reason accounting / premature break-up): a size trigger
+// on one kind used to flush every kind's pending batch and misattribute the
+// reasons. Kind B's small batch must keep aggregating, and the reason
+// counters must sum exactly to the number of per-kind dispatches.
+TEST(BatchingEngine, SizeTriggerFlushesOnlyTheTriggeredKind) {
+  auto cfg = quick_config(0.0);
+  cfg.max_batch = 4;
+  cfg.flush_interval = 10min;  // timer effectively off
+  Engine engine(cfg);
+  std::atomic<int> done_a{0}, done_b{0};
+  auto gpu_echo = [](std::span<const int> xs) {
+    return std::vector<int>(xs.begin(), xs.end());
+  };
+  const KindId a =
+      engine.register_kind({nullptr, gpu_echo, [&](int&&) { ++done_a; }, 30});
+  const KindId b =
+      engine.register_kind({nullptr, gpu_echo, [&](int&&) { ++done_b; }, 31});
+  engine.submit(b, 0);
+  engine.submit(b, 1);
+  for (int i = 0; i < 4; ++i) engine.submit(a, i);  // hits max_batch
+
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (done_a.load() < 4 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(done_a.load(), 4);
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(done_b.load(), 0) << "size trigger on kind A flushed kind B";
+  {
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(stats.size_flushes, 1u);
+    EXPECT_EQ(stats.timer_flushes, 0u);
+    EXPECT_EQ(stats.explicit_flushes, 0u);
+  }
+  engine.flush();
+  engine.wait();
+  EXPECT_EQ(done_b.load(), 2);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.explicit_flushes, 1u);
+  EXPECT_EQ(stats.timer_flushes + stats.size_flushes + stats.explicit_flushes,
+            stats.batches);
+}
+
+// Regression (auto-tune cold-start starvation): with singleton batches the
+// cold-start split of 0.5 rounds to ncpu == 1, so the GPU never received an
+// item, its rate estimator never became ready, and the split froze at 0.5
+// with the GPU idle forever. The engine must force at least one GPU warm-up
+// sample; after warm-up both sides carry work.
+TEST(BatchingEngine, AutoTuneColdStartWarmsUpTheGpu) {
+  auto cfg = quick_config(-1.0);
+  cfg.max_batch = 1;  // every batch is a singleton
+  Engine engine(cfg);
+  std::atomic<int> done{0};
+  const KindId kind = engine.register_kind(
+      {[](const int& x) { return x; },
+       [](std::span<const int> xs) {
+         return std::vector<int>(xs.begin(), xs.end());
+       },
+       [&](int&&) { ++done; },
+       40});
+  engine.submit(kind, 0);
+  engine.wait();
+  EXPECT_EQ(engine.stats().gpu_items, 1u)
+      << "first singleton batch must warm up the GPU rate estimator";
+  for (int i = 1; i <= 20; ++i) {
+    engine.submit(kind, i);
+    engine.wait();
+  }
+  EXPECT_EQ(done.load(), 21);
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.gpu_items, 0u);
+  EXPECT_GT(stats.cpu_items, 0u);
+  EXPECT_EQ(stats.cpu_items + stats.gpu_items, 21u);
+}
+
+// Stress: concurrent submitters x kinds x random explicit flushes x injected
+// exceptions. Nothing may be lost or duplicated, and the stats invariants
+// must hold exactly.
+TEST(BatchingEngine, StressSubmittersKindsFlushesAndErrors) {
+  auto cfg = quick_config(-1.0);
+  cfg.cpu_threads = 4;
+  cfg.flush_interval = 1ms;
+  cfg.max_batch = 32;
+  cfg.cpu_queue_capacity = 64;
+  Engine engine(cfg);
+
+  constexpr int kThreads = 6, kPerThread = 2000, kKinds = 3;
+  // Poisoned values make postprocess throw (counted first).
+  auto poisoned = [](int v) { return v % 501 == 0; };
+
+  std::mutex mu;
+  std::array<std::multiset<int>, kKinds> seen;
+  std::array<std::atomic<int>, kKinds> poisons{};
+  std::array<std::atomic<int>, kKinds> submitted_per_kind{};
+
+  std::array<KindId, kKinds> kinds;
+  auto cpu_echo = [](const int& x) { return x; };
+  auto gpu_echo = [](std::span<const int> xs) {
+    return std::vector<int>(xs.begin(), xs.end());
+  };
+  for (int k = 0; k < kKinds; ++k) {
+    auto post = [&, k](int&& out) {
+      if (poisoned(out)) {
+        ++poisons[static_cast<std::size_t>(k)];
+        throw std::runtime_error("poisoned item");
+      }
+      std::scoped_lock lock(mu);
+      seen[static_cast<std::size_t>(k)].insert(out);
+    };
+    // Kind 0: hybrid; kind 1: CPU-only; kind 2: GPU-only.
+    if (k == 0) {
+      kinds[0] = engine.register_kind({cpu_echo, gpu_echo, post, 50});
+    } else if (k == 1) {
+      kinds[1] = engine.register_kind({cpu_echo, nullptr, post, 51});
+    } else {
+      kinds[2] = engine.register_kind({nullptr, gpu_echo, post, 52});
+    }
+  }
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(t));
+      std::uniform_int_distribution<int> pick_kind(0, kKinds - 1);
+      std::uniform_int_distribution<int> coin(0, 99);
+      for (int i = 0; i < kPerThread; ++i) {
+        const int k = pick_kind(rng);
+        const int value = t * kPerThread + i;  // unique across all threads
+        engine.submit(kinds[static_cast<std::size_t>(k)], value);
+        ++submitted_per_kind[static_cast<std::size_t>(k)];
+        if (coin(rng) == 0) engine.flush();
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  bool threw = false;
+  try {
+    engine.wait();
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw) << "poisoned postprocess errors must surface";
+  EXPECT_NO_THROW(engine.wait());
+
+  int total_poisons = 0;
+  for (int k = 0; k < kKinds; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    std::scoped_lock lock(mu);
+    // Exactly once: every non-poisoned value appears exactly one time.
+    EXPECT_EQ(static_cast<int>(seen[ks].size()) + poisons[ks].load(),
+              submitted_per_kind[ks].load())
+        << "kind " << k;
+    for (int v : seen[ks]) EXPECT_EQ(seen[ks].count(v), 1u);
+    total_poisons += poisons[ks].load();
+  }
+  EXPECT_GT(total_poisons, 0);
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.cpu_items + stats.gpu_items, stats.submitted);
+  EXPECT_EQ(stats.timer_flushes + stats.size_flushes + stats.explicit_flushes,
+            stats.batches);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GE(stats.max_batch_seen, 1u);
 }
 
 TEST(BatchingEngine, ManyConcurrentSubmitters) {
