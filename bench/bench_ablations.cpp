@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_harness.hpp"
 #include "clustersim/cpu_model.hpp"
 #include "common/rng.hpp"
 #include "gpusim/device_cache.hpp"
@@ -48,7 +49,7 @@ double batch_seconds(const std::vector<gpu::GpuTaskDesc>& batch,
       .sec();
 }
 
-void ablate_batching() {
+void ablate_batching(Harness& h) {
   print_header("Ablation 1 — asynchronous batching vs naive per-task port");
   const auto batch = shared_block_batch(60, {3, 10, 100}, 300);
   TextTable t({"configuration", "batch time (ms)", "speedup"});
@@ -63,9 +64,11 @@ void ablate_batching() {
   t.add_row({"batched + pinned + device cache", fmt(b * 1e3), "1.0"});
   t.add_row({"naive per-task port", fmt(n * 1e3), fmt(n / b, 2) + "x slower"});
   t.print(std::cout);
+  h.scalar("batched_ms", b * 1e3, "ms");
+  h.scalar("naive_ms", n * 1e3, "ms");
 }
 
-void ablate_pagelock() {
+void ablate_pagelock(Harness& h) {
   print_header("Ablation 2 — pinned staging vs pageable transfers");
   const auto batch = shared_block_batch(60, {3, 20, 100}, 300);
   TextTable t({"transfer mode", "transfer-in time (ms)", "batch time (ms)"});
@@ -78,6 +81,8 @@ void ablate_pagelock() {
                                         SimTime::zero());
     t.add_row({pinned ? "page-locked (pre-locked pool)" : "pageable",
                fmt(r.transfer_in.ms(), 3), fmt(r.elapsed().ms())});
+    h.scalar(pinned ? "pinned_transfer_in_ms" : "pageable_transfer_in_ms",
+             r.transfer_in.ms(), "ms");
   }
   t.print(std::cout);
   print_footnote(
@@ -85,7 +90,7 @@ void ablate_pagelock() {
       "once on large buffers (0.5 ms lock / 2 ms unlock vs ~1 ms kernels).");
 }
 
-void ablate_device_cache() {
+void ablate_device_cache(Harness& h) {
   print_header("Ablation 3 — write-once device cache for h blocks");
   TextTable t({"device cache", "misses", "hits", "transfer-in (ms)",
                "batch (ms)"});
@@ -100,11 +105,13 @@ void ablate_device_cache() {
     t.add_row({enabled ? "on" : "off", std::to_string(r.cache_misses),
                std::to_string(r.cache_hits), fmt(r.transfer_in.ms(), 2),
                fmt(r.elapsed().ms())});
+    h.scalar(enabled ? "cache_on_batch_ms" : "cache_off_batch_ms",
+             r.elapsed().ms(), "ms");
   }
   t.print(std::cout);
 }
 
-void ablate_rank_reduction() {
+void ablate_rank_reduction(Harness& h) {
   print_header("Ablation 4 — rank reduction: CPU vs GPU (paper §II-D)");
   const gpu::ApplyTaskShape shape{3, 30, 100};
   const cluster::CpuSpec cpu = cluster::CpuSpec::titan_interlagos();
@@ -118,6 +125,8 @@ void ablate_rank_reduction() {
   t.add_row({"CPU, full rank", fmt(cpu_full), "1.0"});
   t.add_row({"CPU, rank reduced", fmt(cpu_rr),
              fmt(cpu_full / cpu_rr, 2) + "x faster"});
+  h.scalar("cpu_full_rank_ms", cpu_full, "ms");
+  h.scalar("cpu_rank_reduced_ms", cpu_rr, "ms");
 
   // GPU: SMs are reserved at launch; shrinking the GEMMs does not release
   // them, so the kernel duration is bounded by the reserved resources and
@@ -130,12 +139,13 @@ void ablate_rank_reduction() {
   t.add_row({"GPU, rank reduced", fmt(gpu_full),
              "1.0x (SMs reserved at launch: no gain)"});
   t.print(std::cout);
+  h.scalar("gpu_full_rank_ms", gpu_full, "ms");
   print_footnote(
       "paper: rank reduction cuts CPU work up to ~2.5-3x but 'did not have "
       "a noticeable effect' on the GPU.");
 }
 
-void ablate_dynamic_parallelism() {
+void ablate_dynamic_parallelism(Harness& h) {
   print_header(
       "Ablation 5 — GPU rank reduction via dynamic parallelism (the "
       "paper's §VI future work, projected)");
@@ -159,26 +169,31 @@ void ablate_dynamic_parallelism() {
   t.add_row({"rank reduced + dyn. parallelism (Kepler)", fmt(kk),
              fmt(baseline / kk, 2) + "x"});
   t.print(std::cout);
+  h.scalar("fermi_full_rank_ms", baseline, "ms");
+  h.scalar("kepler_dyn_parallelism_ms", kk, "ms");
   print_footnote(
       "paper §VI: 'The dynamic parallelism featured in the future CUDA 5 "
       "release could help alleviate some of the rank reduction issues on "
       "GPUs.' — this is that projection on the simulated device.");
 }
 
-void ablate_split() {
+void ablate_split(Harness& h) {
   print_header(
       "Ablation 6 — hybrid split sweep: minimum at k* = n/(m+n)");
   const double m = 24.3, n = 24.7;  // Table I's 10-thread / 5-stream rates
   const double kstar = rt::optimal_cpu_fraction(m, n);
   TextTable t({"CPU fraction k", "max(m k, n (1-k)) (s)"});
-  for (double k = 0.0; k <= 1.0001; k += 0.1) {
-    t.add_row({fmt(k, 1), fmt(rt::overlap_time(m, n, k), 1)});
+  for (double k = 0.0; k <= 1.0001; k += h.quick() ? 0.25 : 0.1) {
+    t.add_row({fmt(k, 2), fmt(rt::overlap_time(m, n, k), 1)});
   }
   t.add_row({"k* = " + fmt(kstar, 3), fmt(rt::optimal_overlap_time(m, n), 1)});
   t.print(std::cout);
+  h.scalar("kstar", kstar, "fraction", Direction::kHigherIsBetter,
+           /*gate=*/true);
+  h.scalar("optimal_overlap_s", rt::optimal_overlap_time(m, n), "s");
 }
 
-void ablate_nonstandard_form() {
+void ablate_nonstandard_form(Harness& h) {
   print_header(
       "Ablation 7 — leaf-level vs nonstandard-form Apply (real numerics, "
       "adaptive 1-D tree, broad kernel)");
@@ -210,7 +225,7 @@ void ablate_nonstandard_form() {
   const double weff2 = wk * wk + wf * wf;
   const double amp =
       std::sqrt(std::numbers::pi) * wk * wf / std::sqrt(weff2);
-  Rng rng(91);
+  Rng rng(h.seed_or(91));
   double leaf_err = 0.0, ns_err = 0.0;
   for (int i = 0; i < 60; ++i) {
     const double x[1] = {rng.uniform(0.05, 0.95)};
@@ -231,6 +246,9 @@ void ablate_nonstandard_form() {
   t.add_row({"nonstandard form (2k blocks)", sci(ns_err / amp),
              std::to_string(ns_stats.tasks), std::to_string(ns_stats.gemms)});
   t.print(std::cout);
+  h.scalar("leaf_rel_err", leaf_err / amp, "fraction");
+  h.scalar("ns_rel_err", ns_err / amp, "fraction");
+  h.scalar("ns_gemms", static_cast<double>(ns_stats.gemms), "count");
   print_footnote(
       "the leaf-level shortcut needs a displacement band as wide as the\n"
       "kernel reach measured in *leaf-level* boxes (hundreds here), while\n"
@@ -240,13 +258,14 @@ void ablate_nonstandard_form() {
 
 }  // namespace
 
-int main() {
-  ablate_batching();
-  ablate_pagelock();
-  ablate_device_cache();
-  ablate_rank_reduction();
-  ablate_dynamic_parallelism();
-  ablate_split();
-  ablate_nonstandard_form();
-  return 0;
+int main(int argc, char** argv) {
+  Harness h("ablations", argc, argv);
+  ablate_batching(h);
+  ablate_pagelock(h);
+  ablate_device_cache(h);
+  ablate_rank_reduction(h);
+  ablate_dynamic_parallelism(h);
+  ablate_split(h);
+  ablate_nonstandard_form(h);
+  return h.finish();
 }

@@ -18,6 +18,9 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "bench_harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "runtime/batching.hpp"
 
@@ -26,7 +29,8 @@ namespace {
 using namespace mh;
 using namespace mh::bench;
 
-void add_mode(TextTable& t, const char* label, const cluster::Workload& w,
+void add_mode(TextTable& t, Harness& h, const std::string& key,
+              const char* label, const cluster::Workload& w,
               cluster::ClusterConfig cfg, obs::TraceSession& session) {
   cfg.trace = &session;
   const auto loads = cluster::even_map(w.tasks, cfg.nodes);
@@ -49,12 +53,18 @@ void add_mode(TextTable& t, const char* label, const cluster::Workload& w,
              fmt(totals.sim(C::kTransfer).sec(), 2),
              fmt(totals.sim(C::kGpuKernel).sec()),
              fmt(totals.sim(C::kComm).sec(), 2)});
+  h.scalar(key + "_makespan_s", result.makespan.sec(), "s");
+  h.scalar(key + "_cpu_compute_s", totals.sim(C::kCpuCompute).sec(), "s");
+  h.scalar(key + "_dispatch_s", totals.sim(C::kBatchFlush).sec(), "s");
 }
 
 // A short real-thread BatchingEngine pass traced into `session`, so an
 // exported file demonstrates both clock domains: wall-clock batch/compute
-// spans here, simulated-time node/stream spans from the cluster run.
-void live_engine_pass(obs::TraceSession& session) {
+// spans here, simulated-time node/stream spans from the cluster run. A
+// background obs::Sampler probes the engine while it runs — the final
+// mh_batching_split_fraction / mh_batching_split_kstar gauges show the
+// auto-tuned CPU share converging to k* = n/(m+n) from live rates.
+void live_engine_pass(Harness& h, obs::TraceSession& session) {
   using Engine = rt::BatchingEngine<int, double>;
   Engine::Config cfg;
   cfg.cpu_threads = 4;
@@ -62,6 +72,10 @@ void live_engine_pass(obs::TraceSession& session) {
   cfg.max_batch = 64;
   cfg.trace = &session;
   Engine engine(cfg);
+  obs::Sampler sampler({std::chrono::milliseconds(1), nullptr});
+  const std::uint64_t probe =
+      sampler.add_probe([&engine] { engine.sample_metrics(); });
+  sampler.start();
   std::atomic<double> sum{0.0};
   const rt::KindId kind = engine.register_kind(
       {[](const int& x) { return static_cast<double>(x) * 1.5; },
@@ -77,9 +91,21 @@ void live_engine_pass(obs::TraceSession& session) {
        /*input_hash=*/0xb27eadull});
   for (int i = 0; i < 2000; ++i) engine.submit(kind, i);
   engine.wait();
+  sampler.sample_now();
+  sampler.remove_probe(probe);  // engine dies before the sampler
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::Labels labels{{"kind", std::to_string(kind)}};
+  // Wall-clock rates from real threads — context, not a gate.
+  h.scalar("live_split_fraction",
+           reg.gauge("mh_batching_split_fraction", {}, labels).value(), "",
+           Direction::kLowerIsBetter, /*gate=*/false);
+  h.scalar("live_split_kstar",
+           reg.gauge("mh_batching_split_kstar", {}, labels).value(), "",
+           Direction::kLowerIsBetter, /*gate=*/false);
 }
 
-int run() {
+int run(int argc, char** argv) {
+  Harness h("breakdown", argc, argv);
   const cluster::Workload w = apps::table1_workload();
   print_header(
       "Phase breakdown — Coulomb d=3, k=10 (Table I workload), 1 node; "
@@ -94,18 +120,19 @@ int run() {
 
   auto cpu = base;
   cpu.mode = cluster::ComputeMode::kCpuOnly;
-  add_mode(t, "CPU-only (16 thr)", w, cpu, cpu_session);
+  add_mode(t, h, "cpu", "CPU-only (16 thr)", w, cpu, cpu_session);
 
   auto gpu = base;
   gpu.mode = cluster::ComputeMode::kGpuOnly;
   gpu.node.gpu_streams = 5;
-  add_mode(t, "GPU-only (5 streams)", w, gpu, gpu_session);
+  add_mode(t, h, "gpu", "GPU-only (5 streams)", w, gpu, gpu_session);
 
   auto hyb = base;
   hyb.mode = cluster::ComputeMode::kHybrid;
   hyb.cpu_compute_threads = 10;
   hyb.node.gpu_streams = 5;
-  add_mode(t, "hybrid (10 thr + 5 str)", w, hyb, hybrid_session);
+  add_mode(t, h, "hybrid", "hybrid (10 thr + 5 str)", w, hyb,
+           hybrid_session);
 
   t.print(std::cout);
   print_footnote(
@@ -113,8 +140,8 @@ int run() {
       "trace track; CPU compute and the GPU chain overlap inside a hybrid "
       "batch, so rows can exceed the makespan.");
 
+  live_engine_pass(h, hybrid_session);
   if (const char* path = std::getenv("MH_TRACE"); path != nullptr) {
-    live_engine_pass(hybrid_session);
     if (hybrid_session.write_chrome_trace_file(path)) {
       print_footnote(std::string("trace: wrote ") +
                      std::to_string(hybrid_session.span_count()) +
@@ -123,9 +150,9 @@ int run() {
       print_footnote(std::string("trace: could not write ") + path);
     }
   }
-  return 0;
+  return h.finish();
 }
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) { return run(argc, argv); }

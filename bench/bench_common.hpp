@@ -1,32 +1,46 @@
 // Shared helpers for the paper-reproduction bench binaries.
 #pragma once
 
+#include <cmath>
 #include <iostream>
 #include <string>
 
 #include "apps/paper_workloads.hpp"
 #include "clustersim/cluster.hpp"
 #include "clustersim/process_map.hpp"
+#include "common/diagnostics.hpp"
 #include "common/table.hpp"
 
 namespace mh::bench {
 
-inline std::string fmt(double v, int prec = 1) {
-  return v < 0.0 ? std::string{"-"} : TextTable::num(v, prec);
+/// Format a value for a table cell. Feasibility is explicit — "-" is only
+/// ever printed because the caller said the configuration was infeasible,
+/// never because a sentinel leaked through arithmetic. NaN is a bug in the
+/// bench (a ratio of infeasible values), so it asserts instead of printing.
+inline std::string fmt(double v, int prec = 1, bool feasible = true) {
+  if (!feasible) return "-";
+  MH_CHECK(!std::isnan(v), "NaN reached a bench table cell");
+  return TextTable::num(v, prec);
 }
 
-/// Run one cluster configuration and return the makespan in seconds, or a
-/// negative value when infeasible (printed as a note).
-inline double run_seconds(const cluster::Workload& w,
+/// One cluster run: the makespan plus an explicit feasibility flag (the
+/// paper's "data per node is too large for the GPU RAM" rows).
+struct RunSec {
+  double sec = 0.0;
+  bool feasible = false;
+  std::string note;
+};
+
+inline std::string fmt(const RunSec& r, int prec = 1) {
+  return fmt(r.sec, prec, r.feasible);
+}
+
+inline RunSec run_cluster(const cluster::Workload& w,
                           const cluster::NodeLoads& loads,
-                          const cluster::ClusterConfig& cfg,
-                          std::string* note = nullptr) {
+                          const cluster::ClusterConfig& cfg) {
   const auto result = cluster::run_cluster_apply(w, loads, cfg);
-  if (!result.feasible) {
-    if (note != nullptr) *note = result.note;
-    return -1.0;
-  }
-  return result.makespan.sec();
+  if (!result.feasible) return {0.0, false, result.note};
+  return {result.makespan.sec(), true, {}};
 }
 
 inline void print_header(const std::string& title) {

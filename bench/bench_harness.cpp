@@ -1,0 +1,206 @@
+#include "bench_harness.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/diagnostics.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace mh::bench {
+namespace {
+
+[[noreturn]] void usage_error(const std::string& name,
+                              const std::string& what) {
+  std::cerr << "bench_" << name << ": " << what
+            << "\nusage: bench_" << name
+            << " [--json <path>] [--quick] [--seed <n>] [--repeats <n>]"
+               " [--warmup <n>]\n";
+  std::exit(2);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  os << buf;
+}
+
+const char* direction_str(Direction d) {
+  return d == Direction::kLowerIsBetter ? "lower" : "higher";
+}
+
+}  // namespace
+
+Harness::Harness(std::string name, int argc, char** argv)
+    : name_(std::move(name)) {
+  bool repeats_set = false, warmup_set = false;
+  const auto value_of = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) usage_error(name_, std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json_path_ = value_of(i, "--json");
+    } else if (arg == "--quick") {
+      quick_ = true;
+    } else if (arg == "--seed") {
+      has_seed_ = true;
+      seed_ = std::strtoull(value_of(i, "--seed").c_str(), nullptr, 10);
+    } else if (arg == "--repeats") {
+      repeats_ = std::atoi(value_of(i, "--repeats").c_str());
+      repeats_set = true;
+    } else if (arg == "--warmup") {
+      warmup_ = std::atoi(value_of(i, "--warmup").c_str());
+      warmup_set = true;
+    } else {
+      usage_error(name_, "unknown flag: " + arg);
+    }
+  }
+  if (quick_) {
+    if (!repeats_set) repeats_ = 3;
+    if (!warmup_set) warmup_ = 0;
+  }
+  if (repeats_ < 1) usage_error(name_, "--repeats must be >= 1");
+  if (warmup_ < 0) usage_error(name_, "--warmup must be >= 0");
+}
+
+void Harness::scalar(const std::string& name, double value,
+                     const std::string& unit, Direction direction,
+                     bool gate) {
+  MH_CHECK(!std::isnan(value), "scalar is NaN: " + name);
+  scalars_.push_back({name, unit, direction, gate, /*feasible=*/true, value});
+}
+
+void Harness::scalar_infeasible(const std::string& name,
+                                const std::string& unit) {
+  scalars_.push_back({name, unit, Direction::kLowerIsBetter, /*gate=*/false,
+                      /*feasible=*/false, 0.0});
+}
+
+SampleSummary Harness::measure(const std::string& name,
+                               const std::function<void()>& body,
+                               Direction direction, bool gate) {
+  for (int i = 0; i < warmup_; ++i) body();
+  std::vector<double> secs;
+  secs.reserve(static_cast<std::size_t>(repeats_));
+  for (int i = 0; i < repeats_; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    secs.push_back(dt.count());
+  }
+  const SampleSummary s = summarize(secs);
+  summaries_.push_back({name, "s", direction, gate, s});
+  return s;
+}
+
+void Harness::summary(const std::string& name,
+                      const std::vector<double>& samples,
+                      const std::string& unit, Direction direction,
+                      bool gate) {
+  summaries_.push_back({name, unit, direction, gate, summarize(samples)});
+}
+
+int Harness::finish() {
+  obs::export_metrics_from_env(obs::MetricsRegistry::global());
+  if (json_path_.empty()) return 0;
+
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n"
+     << "  \"quick\": " << (quick_ ? "true" : "false") << ",\n"
+     << "  \"seed\": ";
+  if (has_seed_) {
+    os << seed_;
+  } else {
+    os << "null";
+  }
+  os << ",\n  \"scalars\": [";
+  for (std::size_t i = 0; i < scalars_.size(); ++i) {
+    const ScalarRec& r = scalars_[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"name\": \"" << json_escape(r.name)
+       << "\", \"unit\": \"" << json_escape(r.unit) << "\", \"direction\": \""
+       << direction_str(r.direction)
+       << "\", \"gate\": " << (r.gate ? "true" : "false")
+       << ", \"feasible\": " << (r.feasible ? "true" : "false")
+       << ", \"value\": ";
+    if (r.feasible) {
+      write_number(os, r.value);
+    } else {
+      os << "null";
+    }
+    os << "}";
+  }
+  os << (scalars_.empty() ? "]" : "\n  ]") << ",\n  \"measures\": [";
+  for (std::size_t i = 0; i < summaries_.size(); ++i) {
+    const SummaryRec& r = summaries_[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"name\": \"" << json_escape(r.name)
+       << "\", \"unit\": \"" << json_escape(r.unit) << "\", \"direction\": \""
+       << direction_str(r.direction)
+       << "\", \"gate\": " << (r.gate ? "true" : "false")
+       << ", \"count\": " << r.stats.count << ", \"mean\": ";
+    write_number(os, r.stats.mean);
+    os << ", \"stddev\": ";
+    write_number(os, r.stats.stddev);
+    os << ", \"min\": ";
+    write_number(os, r.stats.min);
+    os << ", \"max\": ";
+    write_number(os, r.stats.max);
+    os << ", \"p50\": ";
+    write_number(os, r.stats.p50);
+    os << ", \"p95\": ";
+    write_number(os, r.stats.p95);
+    os << ", \"cov\": ";
+    write_number(os, r.stats.cov);
+    os << "}";
+  }
+  os << (summaries_.empty() ? "]" : "\n  ]") << ",\n  \"metrics\": "
+     << obs::json_snapshot(obs::MetricsRegistry::global()) << "\n}\n";
+
+  std::ofstream f(json_path_);
+  if (!f) {
+    std::cerr << "bench_" << name_ << ": cannot write " << json_path_ << "\n";
+    return 1;
+  }
+  f << os.str();
+  std::cout << "json: wrote " << json_path_ << "\n";
+  return f.good() ? 0 : 1;
+}
+
+}  // namespace mh::bench

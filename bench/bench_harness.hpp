@@ -1,0 +1,109 @@
+// Machine-readable bench harness shared by every bench_* binary.
+//
+// Each bench keeps its human-facing tables (TextTable on stdout) and
+// additionally records its key results through a Harness: deterministic
+// simulated-time scalars via scalar(), wall-clock measurements via
+// measure() (warmup + repeats, summarized as median/p95/CoV through
+// common/stats). finish() writes one BENCH_<name>.json per run when
+// --json is given, embedding the final metrics snapshot of the global
+// MetricsRegistry so every perf record carries runtime-health context,
+// and honors MH_METRICS=path like the library does.
+//
+// Flags understood by every bench:
+//   --json <path>   write the machine-readable record to <path>
+//   --quick         CI tier: benches subsample their sweeps; fewer repeats
+//   --seed <n>      override the bench's default RNG seed (common/rng.hpp)
+//   --repeats <n>   wall-clock repeats for measure() (default 5; 3 quick)
+//   --warmup <n>    discarded warmup runs for measure() (default 1; 0 quick)
+//
+// Scalars and measures declare a direction (lower/higher is better) and a
+// gate flag: tools/bench_compare.py only fails CI on gated entries, so
+// deterministic simulated-time results gate while native wall-clock ones
+// (machine-dependent) ride along ungated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace mh::bench {
+
+enum class Direction { kLowerIsBetter, kHigherIsBetter };
+
+class Harness {
+ public:
+  /// Parses the flags above from argv; exits with a usage message on an
+  /// unknown flag so typos fail loudly in CI.
+  Harness(std::string name, int argc, char** argv);
+
+  bool quick() const noexcept { return quick_; }
+  int repeats() const noexcept { return repeats_; }
+  int warmup() const noexcept { return warmup_; }
+
+  /// The --seed value, or `fallback` (the bench's historical constant) when
+  /// the flag was not given — so default output matches checked-in
+  /// baselines while any seed stays one flag away.
+  std::uint64_t seed_or(std::uint64_t fallback) const noexcept {
+    return has_seed_ ? seed_ : fallback;
+  }
+
+  /// Record one deterministic result (e.g. a simulated makespan). Asserts
+  /// on NaN — an infeasible configuration must be recorded via
+  /// scalar_infeasible() instead of a sentinel value.
+  void scalar(const std::string& name, double value, const std::string& unit,
+              Direction direction = Direction::kLowerIsBetter,
+              bool gate = true);
+  /// Record that a configuration was infeasible (never gated).
+  void scalar_infeasible(const std::string& name, const std::string& unit);
+
+  /// Time `body` on this machine: `warmup()` discarded runs, then
+  /// `repeats()` timed runs, summarized via common/stats. Records the
+  /// summary (seconds) and returns it. Wall-clock results default to
+  /// gate=false: they measure the host, not the model.
+  SampleSummary measure(const std::string& name,
+                        const std::function<void()>& body,
+                        Direction direction = Direction::kLowerIsBetter,
+                        bool gate = false);
+
+  /// Record an already-collected sample set under `name`.
+  void summary(const std::string& name, const std::vector<double>& samples,
+               const std::string& unit,
+               Direction direction = Direction::kLowerIsBetter,
+               bool gate = false);
+
+  /// Write BENCH_<name>.json if --json was given, export MH_METRICS if the
+  /// variable is set, and return the process exit code (0).
+  int finish();
+
+ private:
+  struct ScalarRec {
+    std::string name;
+    std::string unit;
+    Direction direction;
+    bool gate;
+    bool feasible;
+    double value;
+  };
+  struct SummaryRec {
+    std::string name;
+    std::string unit;
+    Direction direction;
+    bool gate;
+    SampleSummary stats;
+  };
+
+  std::string name_;
+  std::string json_path_;
+  bool quick_ = false;
+  bool has_seed_ = false;
+  std::uint64_t seed_ = 0;
+  int repeats_ = 5;
+  int warmup_ = 1;
+  std::vector<ScalarRec> scalars_;
+  std::vector<SummaryRec> summaries_;
+};
+
+}  // namespace mh::bench

@@ -1,13 +1,18 @@
-// Real wall-clock microbenchmarks (google-benchmark) of the host-side
-// compute kernels: the mTxm GEMM pattern, the mode-wise tensor transform of
-// Formula 1, and a full Apply compute task. These measure THIS machine, not
-// the simulated Titan node; they validate that the kernels behave sanely
-// (e.g. flops scale as expected) and give the repository an honest native
-// baseline.
-#include <benchmark/benchmark.h>
-
+// Real wall-clock microbenchmarks of the host-side compute kernels: the
+// mTxm GEMM pattern, the mode-wise tensor transform of Formula 1, and a
+// full Apply compute task. These measure THIS machine, not the simulated
+// Titan node; they validate that the kernels behave sanely (e.g. flops
+// scale as expected) and give the repository an honest native baseline.
+//
+// Results are recorded through the shared bench harness (warmup + repeats,
+// median/p95/CoV); GFLOPS scalars are derived from the median. Wall-clock
+// numbers are machine-dependent, so nothing here gates CI.
+#include <cstddef>
+#include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
+#include "bench_harness.hpp"
 #include "common/rng.hpp"
 #include "gpusim/kernels.hpp"
 #include "linalg/gemm.hpp"
@@ -17,89 +22,96 @@
 namespace {
 
 using namespace mh;
+using namespace mh::bench;
 
-void BM_mTxm(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  const std::size_t rows = k * k;  // the (k^2, k) x (k, k) pattern
-  Rng rng(1);
-  std::vector<double> a(k * rows), b(k * k), c(rows * k, 0.0);
-  for (auto& x : a) x = rng.uniform(-1.0, 1.0);
-  for (auto& x : b) x = rng.uniform(-1.0, 1.0);
-  for (auto _ : state) {
-    linalg::mTxm(rows, k, k, c.data(), a.data(), b.data());
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations());
-  state.counters["GFLOPS"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * linalg::gemm_flops(rows, k, k) /
-          1e9,
-      benchmark::Counter::kIsRate);
+// Repeat `body` enough times per sample that one sample is comfortably
+// above timer resolution, then record seconds-per-iteration.
+void record(Harness& h, TextTable& t, const std::string& name,
+            double flops_per_iter, const std::function<void()>& body) {
+  const std::size_t inner = h.quick() ? 8 : 32;
+  const SampleSummary s = h.measure(name, [&] {
+    for (std::size_t i = 0; i < inner; ++i) body();
+  });
+  const double sec_per_iter = s.p50 / static_cast<double>(inner);
+  const double gflops = flops_per_iter / sec_per_iter / 1e9;
+  t.add_row({name, fmt(sec_per_iter * 1e6, 2), fmt(gflops, 2),
+             fmt(s.cov * 100.0, 1) + "%"});
+  h.scalar(name + "_gflops", gflops, "GFLOPS", Direction::kHigherIsBetter,
+           /*gate=*/false);
 }
-BENCHMARK(BM_mTxm)->Arg(10)->Arg(14)->Arg(20)->Arg(28);
 
-void BM_Transform3d(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  Rng rng(2);
-  Tensor t = Tensor::cube(3, k);
-  for (auto& x : t.flat()) x = rng.uniform(-1.0, 1.0);
-  std::vector<double> c(k * k);
-  for (auto& x : c) x = rng.uniform(-1.0, 1.0);
-  const MatrixView cv(c.data(), k, k);
-  for (auto _ : state) {
-    Tensor r = transform(t, cv);
-    benchmark::DoNotOptimize(r.data());
-  }
-  state.counters["GFLOPS"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * transform_flops(3, k) / 1e9,
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_Transform3d)->Arg(10)->Arg(20)->Arg(30);
+int run(int argc, char** argv) {
+  Harness h("kernels_micro", argc, argv);
+  print_header(
+      "Host kernel microbenchmarks — native wall clock on THIS machine");
+  TextTable t({"kernel", "us/iter (p50)", "GFLOPS", "CoV"});
 
-void BM_Transform4d(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  Rng rng(3);
-  Tensor t = Tensor::cube(4, k);
-  for (auto& x : t.flat()) x = rng.uniform(-1.0, 1.0);
-  std::vector<double> c(k * k);
-  for (auto& x : c) x = rng.uniform(-1.0, 1.0);
-  const MatrixView cv(c.data(), k, k);
-  for (auto _ : state) {
-    Tensor r = transform(t, cv);
-    benchmark::DoNotOptimize(r.data());
+  // mTxm: the (k^2, k) x (k, k) GEMM pattern.
+  for (const std::size_t k :
+       h.quick() ? std::vector<std::size_t>{10, 20}
+                 : std::vector<std::size_t>{10, 14, 20, 28}) {
+    const std::size_t rows = k * k;
+    Rng rng(h.seed_or(1));
+    std::vector<double> a(k * rows), b(k * k), c(rows * k, 0.0);
+    for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+    for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+    record(h, t, "mTxm_k" + std::to_string(k),
+           linalg::gemm_flops(rows, k, k), [&, rows, k] {
+             linalg::mTxm(rows, k, k, c.data(), a.data(), b.data());
+           });
   }
-  state.counters["GFLOPS"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * transform_flops(4, k) / 1e9,
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_Transform4d)->Arg(10)->Arg(14);
 
-void BM_FusedComputeTask(benchmark::State& state) {
-  // One Apply compute task at reduced rank count (M = 16) so a single
-  // iteration stays in the microsecond range on a laptop.
-  const auto k = static_cast<std::size_t>(state.range(0));
-  const std::size_t d = 3, terms = 16;
-  Rng rng(4);
-  Tensor source = Tensor::cube(d, k);
-  for (auto& x : source.flat()) x = rng.uniform(-1.0, 1.0);
-  std::vector<std::vector<double>> mats(terms * d,
-                                        std::vector<double>(k * k));
-  std::vector<MatrixView> views;
-  for (auto& m : mats) {
-    for (auto& x : m) x = rng.uniform(-1.0, 1.0);
-    views.emplace_back(m.data(), k, k);
+  // Mode-wise tensor transform, 3-D and 4-D.
+  for (const auto& [d, ks] :
+       {std::pair<std::size_t, std::vector<std::size_t>>{
+            3, h.quick() ? std::vector<std::size_t>{10}
+                         : std::vector<std::size_t>{10, 20, 30}},
+        {4, h.quick() ? std::vector<std::size_t>{10}
+                      : std::vector<std::size_t>{10, 14}}}) {
+    for (const std::size_t k : ks) {
+      Rng rng(h.seed_or(2));
+      Tensor src = Tensor::cube(d, k);
+      for (auto& x : src.flat()) x = rng.uniform(-1.0, 1.0);
+      std::vector<double> c(k * k);
+      for (auto& x : c) x = rng.uniform(-1.0, 1.0);
+      const MatrixView cv(c.data(), k, k);
+      record(h, t,
+             "transform" + std::to_string(d) + "d_k" + std::to_string(k),
+             transform_flops(d, k), [&] {
+               Tensor r = transform(src, cv);
+               (void)r;
+             });
+    }
   }
-  std::vector<double> coeffs(terms, 1.0);
-  for (auto _ : state) {
-    Tensor r = gpu::custom_fused_compute(source, views, coeffs);
-    benchmark::DoNotOptimize(r.data());
+
+  // One full Apply compute task at reduced rank count (M = 16).
+  for (const std::size_t k : h.quick() ? std::vector<std::size_t>{10}
+                                       : std::vector<std::size_t>{10, 20}) {
+    const std::size_t d = 3, terms = 16;
+    Rng rng(h.seed_or(4));
+    Tensor source = Tensor::cube(d, k);
+    for (auto& x : source.flat()) x = rng.uniform(-1.0, 1.0);
+    std::vector<std::vector<double>> mats(terms * d,
+                                          std::vector<double>(k * k));
+    std::vector<MatrixView> views;
+    for (auto& m : mats) {
+      for (auto& x : m) x = rng.uniform(-1.0, 1.0);
+      views.emplace_back(m.data(), k, k);
+    }
+    std::vector<double> coeffs(terms, 1.0);
+    const gpu::ApplyTaskShape shape{d, k, terms};
+    record(h, t, "fused_task_k" + std::to_string(k), shape.flops(), [&] {
+      Tensor r = gpu::custom_fused_compute(source, views, coeffs);
+      (void)r;
+    });
   }
-  const gpu::ApplyTaskShape shape{d, k, terms};
-  state.counters["GFLOPS"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * shape.flops() / 1e9,
-      benchmark::Counter::kIsRate);
+
+  t.print(std::cout);
+  print_footnote(
+      "native wall clock: numbers vary with the host; recorded ungated.");
+  return h.finish();
 }
-BENCHMARK(BM_FusedComputeTask)->Arg(10)->Arg(20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_harness.hpp"
 #include "runtime/dispatch.hpp"
 
 namespace {
@@ -11,7 +12,8 @@ namespace {
 using namespace mh;
 using namespace mh::bench;
 
-int run() {
+int run(int argc, char** argv) {
+  Harness h("table2", argc, argv);
   const cluster::Workload w = apps::table2_workload();
   cluster::ClusterConfig base = apps::titan_config();
   base.nodes = 1;
@@ -27,27 +29,32 @@ int run() {
   auto cpu_cfg = base;
   cpu_cfg.mode = cluster::ComputeMode::kCpuOnly;
   cpu_cfg.cpu_compute_threads = 16;
-  const double m = run_seconds(w, loads, cpu_cfg);
+  const double m = run_cluster(w, loads, cpu_cfg).sec;
 
   auto gpu_cfg = base;
   gpu_cfg.mode = cluster::ComputeMode::kGpuOnly;
-  const double n = run_seconds(w, loads, gpu_cfg);
+  const double n = run_cluster(w, loads, gpu_cfg).sec;
 
   auto hyb_cfg = base;
   hyb_cfg.mode = cluster::ComputeMode::kHybrid;
   hyb_cfg.cpu_compute_threads = 15;  // paper: 15 threads in the hybrid run
-  const double actual = run_seconds(w, loads, hyb_cfg);
+  const double actual = run_cluster(w, loads, hyb_cfg).sec;
+  const double optimal = rt::optimal_overlap_time(m, n);
 
   TextTable t({"configuration", "measured (s)", "paper (s)"});
   t.add_row({"CPU 16 threads", fmt(m), fmt(173.3)});
   t.add_row({"GPU", fmt(n), fmt(136.6)});
   t.add_row({"CPU + GPU (actual)", fmt(actual), fmt(99.0)});
-  t.add_row({"CPU + GPU (optimal overlap)",
-             fmt(rt::optimal_overlap_time(m, n)), fmt(76.2)});
+  t.add_row({"CPU + GPU (optimal overlap)", fmt(optimal), fmt(76.2)});
   t.print(std::cout);
-  return 0;
+
+  h.scalar("cpu16_s", m, "s");
+  h.scalar("gpu_s", n, "s");
+  h.scalar("hybrid_actual_s", actual, "s");
+  h.scalar("hybrid_optimal_overlap_s", optimal, "s");
+  return h.finish();
 }
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) { return run(argc, argv); }

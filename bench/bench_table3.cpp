@@ -3,13 +3,15 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_harness.hpp"
 
 namespace {
 
 using namespace mh;
 using namespace mh::bench;
 
-int run() {
+int run(int argc, char** argv) {
+  Harness h("table3", argc, argv);
   const cluster::Workload w = apps::table3_workload();
 
   print_header(
@@ -25,20 +27,25 @@ int run() {
   TextTable t({"nodes", "custom (s)", "cuBLAS (s)", "ratio", "paper custom",
                "paper cuBLAS", "paper ratio"});
   for (std::size_t i = 0; i < std::size(nodes); ++i) {
+    if (h.quick() && nodes[i] != 2 && nodes[i] != 16) continue;
     auto cfg = apps::titan_config();
     cfg.nodes = nodes[i];
     cfg.mode = cluster::ComputeMode::kGpuOnly;
     const auto loads = cluster::even_map(w.tasks, nodes[i]);
 
     cfg.gpu.use_custom_kernel = true;
-    const double custom = run_seconds(w, loads, cfg);
+    const RunSec custom = run_cluster(w, loads, cfg);
     cfg.gpu.use_custom_kernel = false;
-    const double cublas = run_seconds(w, loads, cfg);
+    const RunSec cublas = run_cluster(w, loads, cfg);
+    const bool both = custom.feasible && cublas.feasible;
 
     t.add_row({std::to_string(nodes[i]), fmt(custom), fmt(cublas),
-               custom > 0 ? fmt(cublas / custom, 2) : "-",
-               fmt(paper_custom[i]), fmt(paper_cublas[i]),
+               fmt(cublas.sec / custom.sec, 2, both), fmt(paper_custom[i]),
+               fmt(paper_cublas[i]),
                fmt(paper_cublas[i] / paper_custom[i], 2)});
+    const std::string prefix = "nodes_" + std::to_string(nodes[i]);
+    h.scalar(prefix + "_custom_s", custom.sec, "s");
+    h.scalar(prefix + "_cublas_s", cublas.sec, "s");
   }
   t.print(std::cout);
 
@@ -48,15 +55,19 @@ int run() {
     auto cfg = apps::titan_config();
     cfg.nodes = 1;
     cfg.mode = cluster::ComputeMode::kGpuOnly;
-    std::string note;
-    const double one = run_seconds(w, cluster::even_map(w.tasks, 1), cfg, &note);
-    print_footnote(one < 0.0
-                       ? "1 node: infeasible — " + note + " (paper: same)"
+    const RunSec one = run_cluster(w, cluster::even_map(w.tasks, 1), cfg);
+    print_footnote(!one.feasible
+                       ? "1 node: infeasible — " + one.note + " (paper: same)"
                        : "1 node unexpectedly feasible: model drift!");
+    if (one.feasible) {
+      h.scalar("nodes_1_custom_s", one.sec, "s");
+    } else {
+      h.scalar_infeasible("nodes_1_custom_s", "s");
+    }
   }
-  return 0;
+  return h.finish();
 }
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) { return run(argc, argv); }

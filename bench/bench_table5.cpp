@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_harness.hpp"
 #include "runtime/dispatch.hpp"
 
 namespace {
@@ -12,7 +13,8 @@ namespace {
 using namespace mh;
 using namespace mh::bench;
 
-int run() {
+int run(int argc, char** argv) {
+  Harness h("table5", argc, argv);
   const cluster::Workload w = apps::table5_workload();
 
   print_header(
@@ -32,47 +34,53 @@ int run() {
   TextTable t({"nodes", "CPU rr", "CPU", "GPU", "hybrid", "optimal",
                "paper: CPU rr", "CPU", "GPU", "hybrid", "optimal"});
   for (std::size_t i = 0; i < std::size(nodes); ++i) {
+    if (h.quick() && nodes[i] != 1 && nodes[i] != 8) continue;
     const auto loads = cluster::locality_map(w.group_sizes, nodes[i], 105);
 
     auto cpu_cfg = apps::titan_config();
     cpu_cfg.nodes = nodes[i];
     cpu_cfg.mode = cluster::ComputeMode::kCpuOnly;
     cpu_cfg.cpu_compute_threads = 16;
-    const double cpu = run_seconds(w, loads, cpu_cfg);
+    const RunSec cpu = run_cluster(w, loads, cpu_cfg);
 
     auto rr_cfg = cpu_cfg;
     rr_cfg.rank_reduce = true;
     rr_cfg.rank_fraction = apps::table5_rank_fraction();
-    const double cpu_rr = run_seconds(w, loads, rr_cfg);
+    const RunSec cpu_rr = run_cluster(w, loads, rr_cfg);
 
     auto gpu_cfg = apps::titan_config();
     gpu_cfg.nodes = nodes[i];
     gpu_cfg.mode = cluster::ComputeMode::kGpuOnly;
-    const double gpu = run_seconds(w, loads, gpu_cfg);
+    const RunSec gpu = run_cluster(w, loads, gpu_cfg);
 
     auto hyb_cfg = apps::titan_config();
     hyb_cfg.nodes = nodes[i];
     hyb_cfg.mode = cluster::ComputeMode::kHybrid;
     hyb_cfg.cpu_compute_threads = 15;
-    const double hybrid = run_seconds(w, loads, hyb_cfg);
+    const RunSec hybrid = run_cluster(w, loads, hyb_cfg);
 
-    const double optimal = (cpu > 0 && gpu > 0)
-                               ? rt::optimal_overlap_time(cpu, gpu)
-                               : -1.0;
+    const bool overlap_known = cpu.feasible && gpu.feasible;
+    const double optimal =
+        overlap_known ? rt::optimal_overlap_time(cpu.sec, gpu.sec) : 0.0;
 
     t.add_row({std::to_string(nodes[i]), fmt(cpu_rr, 0), fmt(cpu, 0),
-               fmt(gpu, 0), fmt(hybrid, 0), fmt(optimal, 0),
+               fmt(gpu, 0), fmt(hybrid, 0), fmt(optimal, 0, overlap_known),
                fmt(paper_cpu_rr[i], 0), fmt(paper_cpu[i], 0),
                fmt(paper_gpu[i], 0), fmt(paper_hybrid[i], 0),
                fmt(paper_optimal[i], 0)});
+    const std::string prefix = "nodes_" + std::to_string(nodes[i]);
+    h.scalar(prefix + "_cpu_rr_s", cpu_rr.sec, "s");
+    h.scalar(prefix + "_cpu_s", cpu.sec, "s");
+    h.scalar(prefix + "_gpu_s", gpu.sec, "s");
+    h.scalar(prefix + "_hybrid_s", hybrid.sec, "s");
   }
   t.print(std::cout);
   print_footnote(
       "note: CPU-only columns use 16 threads; GPU-only and hybrid use 6 "
       "CUDA streams and 15 CPU threads, as in the paper.");
-  return 0;
+  return h.finish();
 }
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_harness.hpp"
 #include "runtime/dispatch.hpp"
 
 namespace {
@@ -12,7 +13,8 @@ namespace {
 using namespace mh;
 using namespace mh::bench;
 
-int run() {
+int run(int argc, char** argv) {
+  Harness h("table6", argc, argv);
   const cluster::Workload w = apps::table6_workload();
 
   print_header(
@@ -31,6 +33,7 @@ int run() {
   TextTable t({"nodes", "CPU", "GPU", "hybrid", "optimal", "speedup",
                "paper: CPU", "GPU", "hybrid", "optimal", "speedup"});
   for (std::size_t i = 0; i < std::size(nodes); ++i) {
+    if (h.quick() && nodes[i] != 100 && nodes[i] != 500) continue;
     const auto loads = cluster::locality_map(w.group_sizes, nodes[i], 106);
 
     auto cpu_cfg = apps::titan_config();
@@ -38,35 +41,41 @@ int run() {
     cpu_cfg.mode = cluster::ComputeMode::kCpuOnly;
     cpu_cfg.rank_reduce = true;
     cpu_cfg.rank_fraction = apps::table6_rank_fraction();
-    const double cpu = run_seconds(w, loads, cpu_cfg);
+    const RunSec cpu = run_cluster(w, loads, cpu_cfg);
 
     auto gpu_cfg = apps::titan_config();
     gpu_cfg.nodes = nodes[i];
     gpu_cfg.mode = cluster::ComputeMode::kGpuOnly;
     gpu_cfg.gpu.use_custom_kernel = false;  // 4-D: cuBLAS regime
-    const double gpu = run_seconds(w, loads, gpu_cfg);
+    const RunSec gpu = run_cluster(w, loads, gpu_cfg);
 
     auto hyb_cfg = gpu_cfg;
     hyb_cfg.mode = cluster::ComputeMode::kHybrid;
     hyb_cfg.cpu_compute_threads = 14;  // paper: 9-14 threads
     hyb_cfg.rank_reduce = true;
     hyb_cfg.rank_fraction = apps::table6_rank_fraction();
-    const double hybrid = run_seconds(w, loads, hyb_cfg);
+    const RunSec hybrid = run_cluster(w, loads, hyb_cfg);
 
-    const double optimal = (cpu > 0 && gpu > 0)
-                               ? rt::optimal_overlap_time(cpu, gpu)
-                               : -1.0;
+    const bool overlap_known = cpu.feasible && gpu.feasible;
+    const double optimal =
+        overlap_known ? rt::optimal_overlap_time(cpu.sec, gpu.sec) : 0.0;
+    const bool speedup_known = cpu.feasible && hybrid.feasible;
 
     t.add_row({std::to_string(nodes[i]), fmt(cpu, 0), fmt(gpu, 0),
-               fmt(hybrid, 0), fmt(optimal, 0),
-               hybrid > 0 ? fmt(cpu / hybrid, 1) : "-", fmt(paper_cpu[i], 0),
-               fmt(paper_gpu[i], 0), fmt(paper_hybrid[i], 0),
-               fmt(paper_optimal[i], 0), fmt(paper_speedup[i], 1)});
+               fmt(hybrid, 0), fmt(optimal, 0, overlap_known),
+               fmt(cpu.sec / hybrid.sec, 1, speedup_known),
+               fmt(paper_cpu[i], 0), fmt(paper_gpu[i], 0),
+               fmt(paper_hybrid[i], 0), fmt(paper_optimal[i], 0),
+               fmt(paper_speedup[i], 1)});
+    const std::string prefix = "nodes_" + std::to_string(nodes[i]);
+    h.scalar(prefix + "_cpu_s", cpu.sec, "s");
+    h.scalar(prefix + "_gpu_s", gpu.sec, "s");
+    h.scalar(prefix + "_hybrid_s", hybrid.sec, "s");
   }
   t.print(std::cout);
-  return 0;
+  return h.finish();
 }
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) { return run(argc, argv); }

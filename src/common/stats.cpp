@@ -36,4 +36,20 @@ double percentile(std::vector<double> xs, double p) {
   return xs[rank == 0 ? 0 : rank - 1];
 }
 
+SampleSummary summarize(const std::vector<double>& xs) {
+  SampleSummary s;
+  if (xs.empty()) return s;
+  RunningStat acc;
+  for (double x : xs) acc.add(x);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.p50 = percentile(xs, 50.0);
+  s.p95 = percentile(xs, 95.0);
+  s.cov = s.mean != 0.0 ? s.stddev / s.mean : 0.0;
+  return s;
+}
+
 }  // namespace mh

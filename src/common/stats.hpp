@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace mh {
@@ -15,8 +16,14 @@ class RunningStat {
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
   double variance() const noexcept;
   double stddev() const noexcept;
-  double min() const noexcept { return min_; }
-  double max() const noexcept { return max_; }
+  /// NaN until the first sample: an empty accumulator has no extrema, and a
+  /// fake 0.0 silently poisons min/max folds (it looked like a real sample).
+  double min() const noexcept {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const noexcept {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
   double sum() const noexcept { return sum_; }
 
  private:
@@ -30,5 +37,22 @@ class RunningStat {
 
 /// Exact percentile (nearest-rank) of a sample; sorts a copy.
 double percentile(std::vector<double> xs, double p);
+
+/// The descriptive summary benches and the metrics sampler report: one
+/// struct so p50/p95/CoV are derived in exactly one place.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = std::numeric_limits<double>::quiet_NaN();
+  double max = std::numeric_limits<double>::quiet_NaN();
+  double p50 = std::numeric_limits<double>::quiet_NaN();
+  double p95 = std::numeric_limits<double>::quiet_NaN();
+  /// Coefficient of variation (stddev/mean); 0 when the mean is 0.
+  double cov = 0.0;
+};
+
+/// Summarize a sample; an empty sample yields the NaN-extrema default.
+SampleSummary summarize(const std::vector<double>& xs);
 
 }  // namespace mh

@@ -3,8 +3,38 @@
 #include <algorithm>
 
 #include "common/diagnostics.hpp"
+#include "obs/metrics.hpp"
 
 namespace mh::gpu {
+namespace {
+// Process-wide gpusim counters (global registry): devices come and go per
+// run, so the aggregate across all of them is what the sampler exports.
+// Function-local statics register once and hand back stable handles.
+obs::Counter& kernels_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "mh_gpusim_kernels_total", "kernels launched on simulated devices");
+  return c;
+}
+obs::Counter& transfers_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "mh_gpusim_transfers_total", "PCIe transfers on simulated devices");
+  return c;
+}
+obs::Counter& bytes_counter(bool to_device) {
+  static obs::Counter& h2d = obs::MetricsRegistry::global().counter(
+      "mh_gpusim_transfer_bytes_total", "PCIe payload bytes moved",
+      {{"direction", "h2d"}});
+  static obs::Counter& d2h = obs::MetricsRegistry::global().counter(
+      "mh_gpusim_transfer_bytes_total", "PCIe payload bytes moved",
+      {{"direction", "d2h"}});
+  return to_device ? h2d : d2h;
+}
+obs::Counter& page_locks_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "mh_gpusim_page_locks_total", "host page-lock calls charged");
+  return c;
+}
+}  // namespace
 
 DeviceSpec DeviceSpec::tesla_m2090() {
   DeviceSpec s;
@@ -53,6 +83,8 @@ SimTime GpuDevice::enqueue_transfer(std::size_t stream, double bytes,
   copy_engine_free_ = done;
   ++stats_.transfers;
   (to_device ? stats_.bytes_to_device : stats_.bytes_to_host) += bytes;
+  transfers_counter().inc();
+  bytes_counter(to_device).inc(bytes);
   if (trace_ != nullptr) {
     trace_->record_sim(copy_track_, to_device ? "h2d" : "d2h",
                        obs::Category::kTransfer, start, done,
@@ -90,6 +122,7 @@ SimTime GpuDevice::enqueue_kernel(std::size_t stream, std::size_t sms,
 
   stream_ready_[stream] = done;
   ++stats_.kernels_launched;
+  kernels_counter().inc();
   stats_.sm_busy_seconds += static_cast<double>(sms) * duration.sec();
   if (trace_ != nullptr) {
     trace_->record_sim(stream_tracks_[stream], "kernel",
@@ -101,6 +134,7 @@ SimTime GpuDevice::enqueue_kernel(std::size_t stream, std::size_t sms,
 
 SimTime GpuDevice::page_lock(SimTime ready) {
   ++stats_.page_locks;
+  page_locks_counter().inc();
   const SimTime done = ready + spec_.page_lock_cost;
   if (trace_ != nullptr) {
     trace_->record_sim(host_track_, "page-lock", obs::Category::kPageLock,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/diagnostics.hpp"
+#include "obs/metrics.hpp"
 
 namespace mh::gpu {
 namespace {
@@ -229,6 +230,13 @@ BatchTiming run_apply_batch(GpuDevice& device, DeviceCache* cache,
   post = post / static_cast<double>(config.data_threads);
   timing.host_post = post;
   timing.total_done = t + post;
+
+  // Publish the device's cumulative SM occupancy after each batch; a
+  // sampler tick between batches then reads the latest level.
+  static obs::Gauge& occupancy_gauge = obs::MetricsRegistry::global().gauge(
+      "mh_gpusim_stream_occupancy",
+      "busy fraction of SM-time on the device that ran the last batch");
+  occupancy_gauge.set(device.occupancy());
   return timing;
 }
 

@@ -3,8 +3,23 @@
 #include <cmath>
 
 #include "common/diagnostics.hpp"
+#include "obs/metrics.hpp"
 
 namespace mh::gpu {
+namespace {
+obs::Counter& staged_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "mh_gpusim_pinned_staged_total",
+      "batches staged through pinned buffer pools");
+  return c;
+}
+obs::Counter& staged_bytes_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "mh_gpusim_pinned_staged_bytes_total",
+      "payload bytes staged through pinned buffer pools");
+  return c;
+}
+}  // namespace
 
 PinnedBufferPool::PinnedBufferPool(GpuDevice& device, std::size_t slabs,
                                    double slab_bytes, SimTime start)
@@ -28,6 +43,8 @@ std::size_t PinnedBufferPool::stage(double bytes) {
   MH_CHECK(!released_, "pool already released");
   MH_CHECK(bytes >= 0.0, "negative payload");
   ++batches_staged_;
+  staged_counter().inc();
+  staged_bytes_counter().inc(bytes);
   return static_cast<std::size_t>(std::max(1.0, std::ceil(bytes / slab_bytes_)));
 }
 

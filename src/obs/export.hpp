@@ -1,0 +1,48 @@
+// Serialization of a MetricsRegistry snapshot.
+//
+// Two formats, one source of truth:
+//   - Prometheus text exposition (version 0.0.4): what a scraper pulls from
+//     a long-running process, and what a human greps after a bench run.
+//     Names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]*; label values escape
+//     backslash, double-quote, and newline per the exposition format.
+//     Histograms expand to the conventional _bucket{le=...}/_sum/_count
+//     series with cumulative power-of-two buckets.
+//   - JSON snapshot: one object per instrument, embedded verbatim into the
+//     bench harness's BENCH_<name>.json records so the perf trajectory
+//     carries runtime-health context alongside its scalars.
+//
+// MH_METRICS=path is the file convention (mirroring MH_TRACE): the JSON
+// snapshot is written to <path> and the Prometheus text to <path>.prom.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mh::obs {
+
+/// Sanitized Prometheus metric name (invalid chars become '_').
+std::string prometheus_name(std::string_view name);
+/// EscapedPrometheus label value (\\, \", and newline).
+std::string prometheus_label_value(std::string_view value);
+
+void write_prometheus(std::ostream& os,
+                      const std::vector<MetricsRegistry::Sample>& samples);
+void write_json(std::ostream& os,
+                const std::vector<MetricsRegistry::Sample>& samples);
+
+std::string prometheus_text(const MetricsRegistry& registry);
+std::string json_snapshot(const MetricsRegistry& registry);
+
+/// Write the JSON snapshot to `path` and the Prometheus text to
+/// `path`.prom; returns false (and stays silent) on I/O failure.
+bool write_metrics_files(const MetricsRegistry& registry,
+                         const std::string& path);
+
+/// Honor MH_METRICS=path if set: write both files from `registry`.
+/// Returns true when the variable was set and both writes succeeded.
+bool export_metrics_from_env(const MetricsRegistry& registry);
+
+}  // namespace mh::obs

@@ -1,0 +1,86 @@
+// Background runtime-health sampler.
+//
+// Counters update themselves at event sites, but *levels* — pending batch
+// depth, thread-pool queue length, live CPU/GPU split fraction, stream
+// occupancy — only exist inside the runtime objects that own them. The
+// Sampler is the bridge: subsystems register a probe (a callback that reads
+// their internals and writes gauges into a MetricsRegistry), and a
+// background thread invokes every probe once per period. sample_now() runs
+// one synchronous tick for deterministic tests and for a final snapshot
+// right before export.
+//
+// Threading: probes run on the sampler thread (or the caller of
+// sample_now()) under the sampler's probe mutex, so a probe must be safe to
+// call from a foreign thread — the runtime objects expose mutex-guarded
+// sample_metrics() methods for exactly this. Probes registered while the
+// thread runs take effect on the next tick. The destructor stops the thread
+// and joins it; after remove-probes or destruction of the probed object,
+// call remove_probe()/stop() first (probes hold raw references).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mh::obs {
+
+class Counter;
+class MetricsRegistry;
+
+class Sampler {
+ public:
+  struct Config {
+    std::chrono::milliseconds period{100};
+    /// Registry the tick counter lands in; nullptr = MetricsRegistry::global().
+    MetricsRegistry* registry = nullptr;
+  };
+
+  Sampler() : Sampler(Config{}) {}
+  explicit Sampler(Config config);
+  ~Sampler();  // stops and joins
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Register a probe; returns an id usable with remove_probe().
+  std::uint64_t add_probe(std::function<void()> probe);
+  void remove_probe(std::uint64_t id);
+
+  /// Start the background thread (idempotent).
+  void start();
+  /// Stop and join the background thread (idempotent; runs no final tick).
+  void stop();
+  bool running() const;
+
+  /// Run every probe once on the calling thread and count the tick.
+  void sample_now();
+
+  /// Ticks executed so far (background + sample_now).
+  std::uint64_t ticks() const;
+
+ private:
+  void run();
+  void tick();
+
+  MetricsRegistry& registry_;
+  const std::chrono::milliseconds period_;
+  Counter& tick_counter_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  struct Probe {
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  std::vector<Probe> probes_;
+  std::uint64_t next_probe_id_ = 1;
+  std::uint64_t ticks_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mh::obs

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <fstream>
 
+#include "obs/metrics.hpp"
+
 namespace mh::obs {
 namespace {
 
@@ -223,9 +225,9 @@ void TraceSession::hist_record(std::string_view name, double value) {
   }
   ++h.count;
   h.sum += value;
-  int exp = 0;
-  std::frexp(std::max(value, 0.0), &exp);
-  ++h.buckets[static_cast<std::size_t>(std::clamp(exp + 31, 0, 63))];
+  // Bucket geometry shared with the metrics registry (obs/metrics.hpp).
+  static_assert(std::tuple_size_v<decltype(h.buckets)> == kHistogramBuckets);
+  ++h.buckets[log_bucket_index(value)];
 }
 
 HistSummary TraceSession::hist(std::string_view name) const {

@@ -44,6 +44,7 @@
 
 #include "common/diagnostics.hpp"
 #include "common/hash.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/dispatch.hpp"
 #include "runtime/thread_pool.hpp"
@@ -70,6 +71,10 @@ class BatchingEngine {
     /// Span/metrics sink; nullptr falls back to obs::TraceSession::current()
     /// at construction (still tracing-off if that is null too).
     obs::TraceSession* trace = nullptr;
+    /// Metrics registry for counters/gauges; nullptr means the process
+    /// registry (obs::MetricsRegistry::global()). Updates are relaxed
+    /// atomics on the dispatch path only, so there is no off switch.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// The three developer-supplied pieces of one task kind. compute_gpu may
@@ -97,6 +102,24 @@ class BatchingEngine {
       : config_(config),
         trace_(config.trace != nullptr ? config.trace
                                        : obs::TraceSession::current()),
+        metrics_(config.metrics != nullptr ? *config.metrics
+                                           : obs::MetricsRegistry::global()),
+        m_batches_(metrics_.counter("mh_batching_batches_total",
+                                    "batches dispatched")),
+        m_flush_timer_(metrics_.counter("mh_batching_flushes_total",
+                                        "batch dispatches by trigger",
+                                        {{"reason", "timer"}})),
+        m_flush_size_(metrics_.counter("mh_batching_flushes_total", {},
+                                       {{"reason", "size"}})),
+        m_flush_explicit_(metrics_.counter("mh_batching_flushes_total", {},
+                                           {{"reason", "explicit"}})),
+        m_cpu_items_(metrics_.counter("mh_batching_items_total",
+                                      "compute items by execution side",
+                                      {{"side", "cpu"}})),
+        m_gpu_items_(metrics_.counter("mh_batching_items_total", {},
+                                      {{"side", "gpu"}})),
+        m_batch_items_(metrics_.histogram("mh_batching_batch_items",
+                                          "items per dispatched batch")),
         cpu_pool_(std::max<std::size_t>(1, config.cpu_threads), "cpu-pool",
                   config.cpu_queue_capacity),
         gpu_driver_(1, "gpu-driver") {
@@ -128,7 +151,21 @@ class BatchingEngine {
              "kind needs at least one compute implementation");
     std::scoped_lock lock(mu_);
     kinds_.push_back(std::make_unique<Kind>(std::move(spec)));
-    return kinds_.size() - 1;
+    const KindId id = kinds_.size() - 1;
+    // Per-kind sampler targets (one time series per kind id).
+    Kind& kind = *kinds_.back();
+    const obs::Labels labels{{"kind", std::to_string(id)}};
+    kind.pending_gauge = &metrics_.gauge(
+        "mh_batching_pending_depth", "compute items awaiting dispatch",
+        labels);
+    kind.split_gauge = &metrics_.gauge(
+        "mh_batching_split_fraction",
+        "CPU share of the next batch (the live hybrid split)", labels);
+    kind.kstar_gauge = &metrics_.gauge(
+        "mh_batching_split_kstar",
+        "optimal split k* = n/(m+n) from the observed per-item rates",
+        labels);
+    return id;
   }
 
   /// Paper-style kind hash: identity of the compute function combined with
@@ -203,6 +240,28 @@ class BatchingEngine {
     return stats_;
   }
 
+  /// Publish the engine's levels into its metrics registry: per-kind
+  /// pending depth, live split fraction and its k* target, plus the two
+  /// pools' queue/utilization gauges. Wire this into an obs::Sampler probe:
+  ///   sampler.add_probe([&engine] { engine.sample_metrics(); });
+  void sample_metrics() {
+    {
+      std::scoped_lock lock(mu_);
+      for (auto& kind_ptr : kinds_) {
+        Kind& kind = *kind_ptr;
+        kind.pending_gauge->set(static_cast<double>(kind.pending.size()));
+        kind.split_gauge->set(split_fraction_locked(kind));
+        if (kind.cpu_rate.ready() && kind.gpu_rate.ready() &&
+            kind.cpu_rate.per_item() > 0.0 && kind.gpu_rate.per_item() > 0.0) {
+          kind.kstar_gauge->set(optimal_cpu_fraction(
+              kind.cpu_rate.per_item(), kind.gpu_rate.per_item()));
+        }
+      }
+    }
+    cpu_pool_.sample_metrics(metrics_);
+    gpu_driver_.sample_metrics(metrics_);
+  }
+
  private:
   struct Kind {
     explicit Kind(KindSpec s) : spec(std::move(s)) {}
@@ -215,6 +274,11 @@ class BatchingEngine {
     bool size_trigger = false;
     RateEstimator cpu_rate;
     RateEstimator gpu_rate;
+    // Sampler targets, registered in register_kind (stable for the
+    // registry's lifetime).
+    obs::Gauge* pending_gauge = nullptr;
+    obs::Gauge* split_gauge = nullptr;
+    obs::Gauge* kstar_gauge = nullptr;
   };
 
   enum FlushReason : int { kTimerFlush = 0, kSizeFlush = 1, kExplicitFlush = 2 };
@@ -278,15 +342,18 @@ class BatchingEngine {
         if (explicit_flush) {
           reason = kExplicitFlush;
           ++stats_.explicit_flushes;
+          m_flush_explicit_.inc();
         } else if (size_trigger) {
           reason = kSizeFlush;
           ++stats_.size_flushes;
+          m_flush_size_.inc();
         } else if (timed_out ||
                    now - kind.oldest_pending >= config_.flush_interval) {
           // A direct timeout, or a batch that outwaited its window while
           // other kinds' size triggers kept the dispatcher busy.
           reason = kTimerFlush;
           ++stats_.timer_flushes;
+          m_flush_timer_.inc();
         } else {
           continue;  // woken for another kind's trigger: keep aggregating
         }
@@ -311,6 +378,8 @@ class BatchingEngine {
     staged.reason = reason;
     ++stats_.batches;
     stats_.max_batch_seen = std::max(stats_.max_batch_seen, staged.items.size());
+    m_batches_.inc();
+    m_batch_items_.observe(static_cast<double>(staged.items.size()));
 
     staged.split = split_fraction_locked(kind);
     staged.ncpu = cpu_share(staged.items.size(), staged.split);
@@ -324,6 +393,9 @@ class BatchingEngine {
     }
     stats_.cpu_items += staged.ncpu;
     stats_.gpu_items += staged.items.size() - staged.ncpu;
+    m_cpu_items_.inc(static_cast<double>(staged.ncpu));
+    m_gpu_items_.inc(static_cast<double>(staged.items.size() - staged.ncpu));
+    kind.split_gauge->set(staged.split);
     return staged;
   }
 
@@ -432,6 +504,14 @@ class BatchingEngine {
 
   Config config_;
   obs::TraceSession* trace_;
+  obs::MetricsRegistry& metrics_;
+  obs::Counter& m_batches_;
+  obs::Counter& m_flush_timer_;
+  obs::Counter& m_flush_size_;
+  obs::Counter& m_flush_explicit_;
+  obs::Counter& m_cpu_items_;
+  obs::Counter& m_gpu_items_;
+  obs::Histogram& m_batch_items_;
   mutable std::mutex mu_;
   std::condition_variable dispatch_cv_;
   std::condition_variable done_cv_;

@@ -1,6 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
 #include "common/diagnostics.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace mh::rt {
@@ -65,6 +66,39 @@ std::size_t ThreadPool::executed() const {
   return executed_;
 }
 
+ThreadPool::Stats ThreadPool::stats() const {
+  const std::chrono::duration<double> uptime =
+      std::chrono::steady_clock::now() - created_;
+  std::scoped_lock lock(mu_);
+  Stats s;
+  s.workers = workers_.size();
+  s.queued = queue_.size();
+  s.active = active_;
+  s.executed = executed_;
+  s.busy_seconds = busy_seconds_;
+  s.uptime_seconds = uptime.count();
+  return s;
+}
+
+void ThreadPool::sample_metrics(obs::MetricsRegistry& registry) const {
+  const Stats s = stats();
+  const obs::Labels labels{{"pool", name_.empty() ? "anonymous" : name_}};
+  registry.gauge("mh_pool_workers", "worker threads in the pool", labels)
+      .set(static_cast<double>(s.workers));
+  registry.gauge("mh_pool_queue_depth", "tasks waiting in the pool queue",
+                 labels)
+      .set(static_cast<double>(s.queued));
+  registry.gauge("mh_pool_active", "tasks currently executing", labels)
+      .set(static_cast<double>(s.active));
+  registry.gauge("mh_pool_executed", "tasks executed since construction",
+                 labels)
+      .set(static_cast<double>(s.executed));
+  registry
+      .gauge("mh_pool_utilization",
+             "busy fraction of worker-seconds since construction", labels)
+      .set(s.utilization());
+}
+
 void ThreadPool::worker_loop(std::size_t index) {
   t_current_pool = this;
   if (!name_.empty()) {
@@ -82,15 +116,19 @@ void ThreadPool::worker_loop(std::size_t index) {
     }
     space_cv_.notify_one();
     std::exception_ptr error;
+    const auto t0 = std::chrono::steady_clock::now();
     try {
       task();
     } catch (...) {
       error = std::current_exception();
     }
+    const std::chrono::duration<double> busy =
+        std::chrono::steady_clock::now() - t0;
     {
       std::scoped_lock lock(mu_);
       --active_;
       ++executed_;
+      busy_seconds_ += busy.count();
       if (error && !first_error_) first_error_ = error;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }

@@ -13,6 +13,7 @@
 // task-spawned tasks cannot deadlock the pool against itself.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -22,6 +23,10 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+namespace mh::obs {
+class MetricsRegistry;
+}  // namespace mh::obs
 
 namespace mh::rt {
 
@@ -51,12 +56,35 @@ class ThreadPool {
   /// Total tasks completed (including ones that threw).
   std::size_t executed() const;
 
+  /// One consistent reading of the pool's health, as the metrics sampler
+  /// consumes it (obs/sampler.hpp). utilization is the busy fraction of
+  /// total worker-seconds since construction.
+  struct Stats {
+    std::size_t workers = 0;
+    std::size_t queued = 0;     ///< tasks waiting in the queue
+    std::size_t active = 0;     ///< tasks currently executing
+    std::size_t executed = 0;
+    double busy_seconds = 0.0;  ///< summed task wall time across workers
+    double uptime_seconds = 0.0;
+    double utilization() const noexcept {
+      const double total = uptime_seconds * static_cast<double>(workers);
+      return total > 0.0 ? busy_seconds / total : 0.0;
+    }
+  };
+  Stats stats() const;
+
+  /// Publish this pool's levels as "mh_pool_*" gauges labelled
+  /// pool=<name>. Called from a Sampler probe (any thread).
+  void sample_metrics(obs::MetricsRegistry& registry) const;
+
  private:
   void worker_loop(std::size_t index);
   bool is_worker_thread() const noexcept;
 
   std::string name_;
   std::size_t queue_capacity_;
+  const std::chrono::steady_clock::time_point created_ =
+      std::chrono::steady_clock::now();
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait here for tasks
   std::condition_variable idle_cv_;   // wait_idle waits here
@@ -65,6 +93,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;
   std::size_t executed_ = 0;
+  double busy_seconds_ = 0.0;
   std::exception_ptr first_error_;
   bool stop_ = false;
 };

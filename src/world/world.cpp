@@ -4,14 +4,27 @@
 
 namespace mh::world {
 
-World::World(std::size_t ranks) {
+World::World(std::size_t ranks, obs::MetricsRegistry* metrics)
+    : metrics_(metrics ? *metrics : obs::MetricsRegistry::global()),
+      m_tasks_(metrics_.counter("mh_world_tasks_total",
+                                "tasks and AM handlers executed")) {
   MH_CHECK(ranks >= 1, "world needs at least one rank");
   pools_.reserve(ranks);
+  m_rank_messages_.reserve(ranks);
+  m_rank_bytes_.reserve(ranks);
   for (std::size_t r = 0; r < ranks; ++r) {
     // Named pool: each rank's single worker labels its trace track
     // "rank<r>/0" so World tasks land on per-rank timelines.
     pools_.push_back(
         std::make_unique<rt::ThreadPool>(1, "rank" + std::to_string(r)));
+    const obs::Labels labels{{"rank", std::to_string(r)}};
+    m_rank_messages_.push_back(&metrics_.counter(
+        "mh_world_messages_total",
+        "remote active messages delivered to the rank", labels));
+    m_rank_bytes_.push_back(&metrics_.counter(
+        "mh_world_bytes_total",
+        "payload bytes of remote active messages delivered to the rank",
+        labels));
   }
 }
 
@@ -48,6 +61,7 @@ void World::enqueue(std::size_t rank, std::function<void()> fn,
 }
 
 void World::complete_one() {
+  m_tasks_.inc();
   std::scoped_lock lock(mu_);
   ++stats_.tasks;
   MH_CHECK(outstanding_ > 0, "completion underflow");
@@ -63,6 +77,8 @@ void World::send(std::size_t from, std::size_t to, double bytes,
   MH_CHECK(from < pools_.size(), "source rank out of range");
   MH_CHECK(bytes >= 0.0, "negative payload");
   if (from != to) {
+    m_rank_messages_[to]->inc();
+    m_rank_bytes_[to]->inc(bytes);
     std::scoped_lock lock(mu_);
     ++stats_.messages;
     stats_.bytes += bytes;
@@ -84,6 +100,10 @@ void World::fence() {
 World::Stats World::stats() const {
   std::scoped_lock lock(mu_);
   return stats_;
+}
+
+void World::sample_metrics() const {
+  for (const auto& pool : pools_) pool->sample_metrics(metrics_);
 }
 
 }  // namespace mh::world

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -24,7 +25,9 @@ namespace mh::world {
 
 class World {
  public:
-  explicit World(std::size_t ranks);
+  /// `metrics`: registry for the per-rank message/byte counters; nullptr
+  /// means the process registry (obs::MetricsRegistry::global()).
+  explicit World(std::size_t ranks, obs::MetricsRegistry* metrics = nullptr);
   ~World();
 
   World(const World&) = delete;
@@ -53,11 +56,20 @@ class World {
   };
   Stats stats() const;
 
+  /// Publish per-rank pool gauges (queue depth, utilization) into the
+  /// world's metrics registry; wire into an obs::Sampler probe.
+  void sample_metrics() const;
+
  private:
   void enqueue(std::size_t rank, std::function<void()> fn,
                const char* span_name, obs::Category cat);
   void complete_one();
 
+  obs::MetricsRegistry& metrics_;
+  obs::Counter& m_tasks_;
+  /// Per-destination-rank active-message counters (label rank=<to>).
+  std::vector<obs::Counter*> m_rank_messages_;
+  std::vector<obs::Counter*> m_rank_bytes_;
   std::vector<std::unique_ptr<rt::ThreadPool>> pools_;
   mutable std::mutex mu_;
   std::condition_variable quiescent_;

@@ -1,6 +1,7 @@
 // Unit tests for src/common: diagnostics, hashing, RNG, stats, table, time.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <sstream>
 
@@ -140,11 +141,33 @@ TEST(RunningStat, EmptyAndSingle) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  // An empty accumulator has no extrema: NaN, not a fake 0.0.
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
   s.add(3.5);
   EXPECT_DOUBLE_EQ(s.mean(), 3.5);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
   EXPECT_DOUBLE_EQ(s.min(), 3.5);
   EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(SampleSummary, DerivesMedianP95AndCov) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const SampleSummary s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.cov, s.stddev / s.mean, 1e-15);
+
+  const SampleSummary empty = summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_TRUE(std::isnan(empty.min));
+  EXPECT_TRUE(std::isnan(empty.p50));
+  EXPECT_DOUBLE_EQ(empty.cov, 0.0);
 }
 
 TEST(Percentile, NearestRank) {

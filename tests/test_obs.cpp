@@ -1,19 +1,28 @@
 // Tests for src/obs: span recording on both clock domains, nesting, thread
-// tracks, counters/histograms, aggregation, and the Chrome trace exporter
-// (the JSON it writes must actually parse).
+// tracks, counters/histograms, aggregation, the Chrome trace exporter
+// (the JSON it writes must actually parse), the metrics registry, the
+// background health sampler, and the Prometheus/JSON exporters.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gpusim/device.hpp"
+#include "gpusim/device_cache.hpp"
+#include "gpusim/gpu_executor.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "runtime/batching.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mh::obs {
@@ -344,6 +353,278 @@ TEST(TraceSession, GpuDeviceEmitsSimSpans) {
   EXPECT_TRUE(have_stream0);
   EXPECT_TRUE(have_copy);
   EXPECT_TRUE(have_host);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(Metrics, CountersGaugesHistogramsRegisterAndUpdate) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("requests_total", "requests");
+  c.inc();
+  c.inc(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+
+  Gauge& g = reg.gauge("depth");
+  g.set(7.0);
+  g.add(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+
+  Histogram& h = reg.histogram("sizes");
+  h.observe(1.0);
+  h.observe(60.0);
+  h.observe(0.25);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 61.25);
+  EXPECT_DOUBLE_EQ(s.min, 0.25);
+  EXPECT_DOUBLE_EQ(s.max, 60.0);
+
+  // Same (name, labels) yields the same instrument; different labels a new
+  // time series.
+  EXPECT_EQ(&reg.counter("requests_total"), &c);
+  Counter& c2 = reg.counter("requests_total", "", {{"rank", "1"}});
+  EXPECT_NE(&c2, &c);
+  EXPECT_EQ(reg.size(), 4u);
+}
+
+TEST(Metrics, LogBucketGeometryIsSharedAndMonotonic) {
+  // frexp(1.0) = 0.5 * 2^1, so 1.0 lands in the bucket with upper bound 2.
+  EXPECT_EQ(log_bucket_index(1.0), 32u);
+  EXPECT_EQ(log_bucket_index(1e-300), 0u);
+  EXPECT_EQ(log_bucket_index(1e300), kHistogramBuckets - 1);
+  for (std::size_t i = 1; i < kHistogramBuckets; ++i) {
+    EXPECT_GT(log_bucket_upper(i), log_bucket_upper(i - 1));
+  }
+  // A value lands at or below its bucket's upper bound.
+  for (double v : {0.001, 0.4, 1.5, 100.0, 7e6}) {
+    EXPECT_LE(v, log_bucket_upper(log_bucket_index(v)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+TEST(Export, PrometheusEscapesLabelValuesAndSanitizesNames) {
+  MetricsRegistry reg;
+  reg.counter("weird.metric-name", "help", {{"path", "a\"b\\c\nd"}}).inc();
+  const std::string text = prometheus_text(reg);
+  // Name sanitized to [a-zA-Z0-9_:].
+  EXPECT_NE(text.find("weird_metric_name"), std::string::npos);
+  // Label value escaped per the exposition format: \" \\ \n.
+  EXPECT_NE(text.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+  // No raw newline inside the label value (every line is a full sample).
+  for (std::istringstream is(text); !is.eof();) {
+    std::string line;
+    std::getline(is, line);
+    if (line.empty()) continue;
+    const bool header = line.rfind("# ", 0) == 0;
+    EXPECT_TRUE(header || line.find(' ') != std::string::npos) << line;
+  }
+}
+
+TEST(Export, PrometheusHistogramExpandsToCumulativeBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("batch_items", "items per batch");
+  h.observe(2.0);
+  h.observe(2.0);
+  h.observe(200.0);
+  const std::string text = prometheus_text(reg);
+  EXPECT_NE(text.find("# TYPE batch_items histogram"), std::string::npos);
+  // 2.0 = 0.5 * 2^2 lands in the bucket with upper bound 4; 200 in 256.
+  EXPECT_NE(text.find("batch_items_bucket{le=\"4\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("batch_items_bucket{le=\"256\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("batch_items_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("batch_items_sum 204"), std::string::npos);
+  EXPECT_NE(text.find("batch_items_count 3"), std::string::npos);
+}
+
+TEST(Export, JsonSnapshotRoundTripsThroughChecker) {
+  MetricsRegistry reg;
+  reg.counter("c_total", "with \"quotes\" and \\slashes",
+              {{"kind", "a\nb"}})
+      .inc(42.0);
+  reg.gauge("g", "level").set(-1.5);
+  Histogram& h = reg.histogram("h", "dist");
+  h.observe(3.0);
+  const std::string json = json_snapshot(reg);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"c_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":42"), std::string::npos);
+}
+
+TEST(Export, WriteMetricsFilesProducesBothFormats) {
+  MetricsRegistry reg;
+  reg.counter("written_total").inc(5.0);
+  const std::string path =
+      ::testing::TempDir() + "/mh_metrics_test.json";
+  ASSERT_TRUE(write_metrics_files(reg, path));
+  std::ifstream jf(path);
+  std::stringstream jbuf;
+  jbuf << jf.rdbuf();
+  EXPECT_TRUE(JsonChecker(jbuf.str()).valid());
+  std::ifstream pf(path + ".prom");
+  std::stringstream pbuf;
+  pbuf << pf.rdbuf();
+  EXPECT_NE(pbuf.str().find("written_total 5"), std::string::npos);
+  std::remove(path.c_str());
+  std::remove((path + ".prom").c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+
+TEST(Sampler, CountersStayMonotonicAcrossTicks) {
+  MetricsRegistry reg;
+  Sampler sampler({std::chrono::milliseconds(1), &reg});
+  std::atomic<int> probe_runs{0};
+  sampler.add_probe([&probe_runs] { ++probe_runs; });
+
+  const Counter& ticks = reg.counter("mh_sampler_ticks_total");
+  double last = ticks.value();
+  EXPECT_DOUBLE_EQ(last, 0.0);
+  for (int i = 0; i < 5; ++i) {
+    sampler.sample_now();
+    const double now = ticks.value();
+    EXPECT_GT(now, last);  // strictly increasing: one tick per call
+    last = now;
+  }
+  EXPECT_EQ(probe_runs.load(), 5);
+  EXPECT_EQ(sampler.ticks(), 5u);
+
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  while (ticks.value() < 8.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  const double after_stop = ticks.value();
+  EXPECT_GE(after_stop, 8.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_DOUBLE_EQ(ticks.value(), after_stop);  // no ticks after stop
+}
+
+TEST(Sampler, RemovedProbesStopRunning) {
+  MetricsRegistry reg;
+  Sampler sampler({std::chrono::milliseconds(100), &reg});
+  std::atomic<int> a{0}, b{0};
+  const std::uint64_t ida = sampler.add_probe([&a] { ++a; });
+  sampler.add_probe([&b] { ++b; });
+  sampler.sample_now();
+  sampler.remove_probe(ida);
+  sampler.sample_now();
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 2);
+}
+
+TEST(Sampler, ProbesPublishThreadPoolGauges) {
+  MetricsRegistry reg;
+  rt::ThreadPool pool(2, "probe-pool");
+  Sampler sampler({std::chrono::milliseconds(1), &reg});
+  sampler.add_probe([&pool, &reg] { pool.sample_metrics(reg); });
+
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&ran] { ++ran; });
+  }
+  pool.wait_idle();
+  sampler.sample_now();
+
+  const Labels labels{{"pool", "probe-pool"}};
+  EXPECT_DOUBLE_EQ(reg.gauge("mh_pool_workers", "", labels).value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("mh_pool_executed", "", labels).value(), 32.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("mh_pool_queue_depth", "", labels).value(), 0.0);
+  const double util =
+      reg.gauge("mh_pool_utilization", "", labels).value();
+  EXPECT_GE(util, 0.0);
+  EXPECT_LE(util, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime instrumentation end to end
+
+TEST(Metrics, BatchingEngineExportsCountersAndSplitGauges) {
+  MetricsRegistry reg;
+  using Engine = rt::BatchingEngine<int, int>;
+  Engine::Config cfg;
+  cfg.cpu_threads = 2;
+  cfg.max_batch = 16;
+  cfg.flush_interval = std::chrono::milliseconds(1);
+  cfg.metrics = &reg;
+  Engine engine(cfg);
+  std::atomic<int> done{0};
+  const rt::KindId kind = engine.register_kind(
+      {[](const int& x) { return x + 1; },
+       [](std::span<const int> xs) {
+         std::vector<int> out;
+         for (int x : xs) out.push_back(x + 1);
+         return out;
+       },
+       [&done](int&&) { ++done; },
+       /*input_hash=*/0x1234ull});
+  for (int i = 0; i < 200; ++i) engine.submit(kind, i);
+  engine.wait();
+  engine.sample_metrics();
+  EXPECT_EQ(done.load(), 200);
+
+  EXPECT_GE(reg.counter("mh_batching_batches_total").value(), 1.0);
+  const double cpu_items =
+      reg.counter("mh_batching_items_total", "", {{"side", "cpu"}}).value();
+  const double gpu_items =
+      reg.counter("mh_batching_items_total", "", {{"side", "gpu"}}).value();
+  EXPECT_DOUBLE_EQ(cpu_items + gpu_items, 200.0);
+  const double flushes =
+      reg.counter("mh_batching_flushes_total", "", {{"reason", "timer"}})
+          .value() +
+      reg.counter("mh_batching_flushes_total", "", {{"reason", "size"}})
+          .value() +
+      reg.counter("mh_batching_flushes_total", "", {{"reason", "explicit"}})
+          .value();
+  EXPECT_GE(flushes, 1.0);
+  EXPECT_EQ(reg.histogram("mh_batching_batch_items").snapshot().count,
+            static_cast<std::uint64_t>(
+                reg.counter("mh_batching_batches_total").value()));
+
+  // Per-kind sampled levels exist after sample_metrics(): nothing pending
+  // after wait(); the live split fraction is a valid fraction.
+  const Labels kind_labels{{"kind", std::to_string(kind)}};
+  EXPECT_DOUBLE_EQ(
+      reg.gauge("mh_batching_pending_depth", "", kind_labels).value(), 0.0);
+  const double split =
+      reg.gauge("mh_batching_split_fraction", "", kind_labels).value();
+  EXPECT_GE(split, 0.0);
+  EXPECT_LE(split, 1.0);
+}
+
+TEST(Metrics, GpusimPublishesOccupancyAndCacheHitRatio) {
+  // gpusim counters land in the process-global registry.
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const double kernels_before =
+      reg.counter("mh_gpusim_kernels_total").value();
+
+  gpu::GpuDevice dev(gpu::DeviceSpec::tesla_m2090(), 4);
+  gpu::DeviceCache cache(dev.spec().memory_bytes);
+  std::vector<gpu::GpuTaskDesc> batch(8);
+  for (auto& t : batch) {
+    t.shape = gpu::ApplyTaskShape{3, 10, 20};
+    t.h_block_ids = {1, 2, 3};
+  }
+  gpu::BatchConfig cfg;
+  cfg.streams = 4;
+  gpu::run_apply_batch(dev, &cache, batch, cfg, SimTime::zero());
+
+  EXPECT_GT(reg.counter("mh_gpusim_kernels_total").value(), kernels_before);
+  const double occupancy = reg.gauge("mh_gpusim_stream_occupancy").value();
+  EXPECT_GT(occupancy, 0.0);
+  EXPECT_LE(occupancy, 1.0);
+  // 8 tasks sharing 3 h blocks: first task misses, the rest hit.
+  const double ratio = reg.gauge("mh_gpusim_cache_hit_ratio").value();
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LE(ratio, 1.0);
+  EXPECT_GE(reg.counter("mh_gpusim_cache_hits_total").value(), 1.0);
+  EXPECT_GE(reg.counter("mh_gpusim_transfers_total").value(), 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json records against checked-in baselines.
+
+Every bench binary writes one BENCH_<name>.json (see bench/bench_harness.hpp)
+containing scalars (deterministic simulated results) and measures (wall-clock
+summaries). Entries carry a direction ("lower"/"higher" is better) and a
+`gate` flag: only gated entries can fail this script — deterministic
+simulated-time results gate, native wall-clock results ride along as context.
+
+Exit status: 0 when every gated entry is within the threshold of its
+baseline, 1 on any regression (or a gated entry/file missing from the
+current run), 2 on usage errors.
+
+Usage:
+  tools/bench_compare.py --baseline bench/baselines --current . \
+      [--threshold 0.15]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_records(directory):
+    records = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot read {path}: {e}", file=sys.stderr)
+            sys.exit(2)
+        records[data.get("bench", os.path.basename(path))] = data
+    return records
+
+
+def entries(record):
+    """Yield (key, value, direction, gated, feasible) for scalars and the
+    p50 of measures."""
+    for s in record.get("scalars", []):
+        yield (
+            "scalar:" + s["name"],
+            s.get("value"),
+            s.get("direction", "lower"),
+            bool(s.get("gate")),
+            bool(s.get("feasible", True)),
+        )
+    for m in record.get("measures", []):
+        yield (
+            "measure:" + m["name"] + ":p50",
+            m.get("p50"),
+            m.get("direction", "lower"),
+            bool(m.get("gate")),
+            True,
+        )
+
+
+def compare(bench, base, cur, threshold):
+    """Return a list of failure strings for one bench record pair."""
+    failures = []
+    cur_map = {k: (v, d, g, f) for k, v, d, g, f in entries(cur)}
+    for key, base_val, direction, gated, base_feasible in entries(base):
+        if not gated:
+            continue
+        if key not in cur_map:
+            failures.append(f"{bench}: gated entry {key} missing from current run")
+            continue
+        cur_val, _, _, cur_feasible = cur_map[key]
+        if base_feasible != cur_feasible:
+            failures.append(
+                f"{bench}: {key} feasibility changed "
+                f"({base_feasible} -> {cur_feasible})"
+            )
+            continue
+        if not base_feasible:
+            continue
+        if base_val is None or cur_val is None:
+            failures.append(f"{bench}: {key} has a null value")
+            continue
+        if base_val == 0:
+            # No meaningful ratio; only an exact sign flip would matter.
+            continue
+        ratio = cur_val / base_val
+        if direction == "lower" and ratio > 1.0 + threshold:
+            failures.append(
+                f"{bench}: {key} regressed {base_val:.6g} -> {cur_val:.6g} "
+                f"(+{(ratio - 1.0) * 100:.1f}%, limit +{threshold * 100:.0f}%)"
+            )
+        elif direction == "higher" and ratio < 1.0 - threshold:
+            failures.append(
+                f"{bench}: {key} regressed {base_val:.6g} -> {cur_val:.6g} "
+                f"(-{(1.0 - ratio) * 100:.1f}%, limit -{threshold * 100:.0f}%)"
+            )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="directory with baseline BENCH_*.json files")
+    parser.add_argument("--current", required=True,
+                        help="directory with freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional regression (default 0.15)")
+    args = parser.parse_args()
+
+    baselines = load_records(args.baseline)
+    currents = load_records(args.current)
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    compared = 0
+    for bench, base in sorted(baselines.items()):
+        if bench not in currents:
+            failures.append(f"{bench}: no current BENCH record produced")
+            continue
+        fails = compare(bench, base, currents[bench], args.threshold)
+        gated = sum(1 for _, _, _, g, _ in entries(base) if g)
+        compared += gated
+        status = "FAIL" if fails else "ok"
+        print(f"{bench}: {gated} gated entries, {len(fails)} regressions "
+              f"[{status}]")
+        failures.extend(fails)
+    for bench in sorted(set(currents) - set(baselines)):
+        print(f"{bench}: new bench (no baseline) — skipped")
+
+    print(f"\ncompared {compared} gated entries across "
+          f"{len(baselines)} benches, threshold "
+          f"{args.threshold * 100:.0f}%")
+    if failures:
+        print("\nregressions:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
