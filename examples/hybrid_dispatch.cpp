@@ -13,6 +13,7 @@
 #include <mutex>
 
 #include "apps/coulomb.hpp"
+#include "fault/fault.hpp"
 #include "mra/function.hpp"
 #include "ops/apply.hpp"
 #include "runtime/batching.hpp"
@@ -106,6 +107,17 @@ int main() {
               stats.explicit_flushes);
   std::printf("task kind hash: %016llx\n",
               static_cast<unsigned long long>(engine.kind_hash(kind)));
+
+  // Under MH_FAULTS (the engine defaults to the process injector) the run
+  // is a chaos drill; show what the resilience layer absorbed.
+  if (fault::FaultInjector::global().armed()) {
+    std::printf("faults armed (MH_FAULTS): %zu GPU batch failures, "
+                "%zu retries, %zu items fell back to CPU\n",
+                stats.gpu_failures, stats.gpu_retries,
+                stats.gpu_fallback_items);
+    std::printf("breaker: %zu opens, %zu closes\n", stats.breaker_opens,
+                stats.breaker_closes);
+  }
 
   // Verify against the serial Apply.
   double max_err = 0.0;

@@ -74,6 +74,15 @@ SimTime GpuDevice::enqueue_transfer(std::size_t stream, double bytes,
                                     bool to_device) {
   MH_CHECK(stream < stream_ready_.size(), "stream out of range");
   MH_CHECK(bytes >= 0.0, "negative transfer size");
+  if (faults_ != nullptr &&
+      faults_->should_fail(to_device ? fault::FaultSite::kTransferH2D
+                                     : fault::FaultSite::kTransferD2H)) {
+    ++stats_.faults_injected;
+    throw fault::FaultError(
+        fault::ErrorCode::kTransferTimeout,
+        std::string("injected ") + (to_device ? "H2D" : "D2H") +
+            " transfer timeout on stream " + std::to_string(stream));
+  }
   const double bw = pinned ? spec_.pinned_bandwidth : spec_.pageable_bandwidth;
   const SimTime start =
       max(max(ready, stream_ready_[stream]), copy_engine_free_);
@@ -100,6 +109,13 @@ SimTime GpuDevice::enqueue_kernel(std::size_t stream, std::size_t sms,
   MH_CHECK(stream < stream_ready_.size(), "stream out of range");
   MH_CHECK(sms >= 1 && sms <= spec_.num_sms, "SM request out of range");
   MH_CHECK(duration >= SimTime::zero(), "negative kernel duration");
+  if (faults_ != nullptr &&
+      faults_->should_fail(fault::FaultSite::kGpuKernel)) {
+    ++stats_.faults_injected;
+    throw fault::FaultError(
+        fault::ErrorCode::kGpuKernelFailed,
+        "injected GPU kernel failure on stream " + std::to_string(stream));
+  }
 
   // Launches serialize per stream (each stream has a feeding host thread —
   // the paper's "CPU threads for data access"); the kernel cannot start

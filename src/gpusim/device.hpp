@@ -13,6 +13,13 @@
 // Time is simulated (SimTime): every enqueue_* returns the operation's
 // completion time given its dependency. Numerics, when needed, are executed
 // on the host by the kernel implementations in kernels.hpp.
+//
+// Fault behavior: with a fault::FaultInjector attached
+// (set_fault_injector), enqueue_kernel and enqueue_transfer surface
+// injected faults as typed fault::FaultError exceptions
+// (kGpuKernelFailed / kTransferTimeout) instead of aborting the run —
+// callers decide whether to retry, degrade to the CPU path, or fail the
+// batch. Injected faults are counted in DeviceStats::faults_injected.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "common/sim_time.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace mh::gpu {
@@ -58,6 +66,7 @@ struct DeviceStats {
   std::size_t page_locks = 0;
   std::size_t page_unlocks = 0;
   double sm_busy_seconds = 0.0;  ///< sum over SMs of busy time
+  std::size_t faults_injected = 0;  ///< operations failed by the injector
 };
 
 class GpuDevice {
@@ -98,12 +107,21 @@ class GpuDevice {
   /// and "<prefix>host" tracks. Pass nullptr to detach.
   void set_trace(obs::TraceSession* session, const std::string& prefix = {});
 
+  /// Attach a fault injector: kernel launches and transfers consult it and
+  /// throw typed fault::FaultError on injected faults. nullptr (the
+  /// default) disables injection for this device.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    faults_ = injector;
+  }
+  fault::FaultInjector* fault_injector() const noexcept { return faults_; }
+
  private:
   DeviceSpec spec_;
   std::vector<SimTime> stream_ready_;
   std::vector<SimTime> sm_free_;
   SimTime copy_engine_free_;
   DeviceStats stats_;
+  fault::FaultInjector* faults_ = nullptr;
 
   obs::TraceSession* trace_ = nullptr;
   std::vector<std::uint32_t> stream_tracks_;

@@ -1,8 +1,10 @@
 #include "gpusim/pinned.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "common/diagnostics.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 
 namespace mh::gpu {
@@ -27,7 +29,20 @@ PinnedBufferPool::PinnedBufferPool(GpuDevice& device, std::size_t slabs,
   MH_CHECK(slabs >= 1, "pool needs at least one slab");
   MH_CHECK(slab_bytes > 0.0, "slab size must be positive");
   SimTime t = start;
-  for (std::size_t i = 0; i < slabs; ++i) t = device_.page_lock(t);
+  for (std::size_t i = 0; i < slabs; ++i) {
+    // Each slab is one pinned allocation (cudaHostAlloc): the injector can
+    // fail it (site pinned) — surfaced typed, like a real out-of-pinned
+    // condition, so callers can degrade to pageable staging.
+    if (fault::FaultInjector* injector = device_.fault_injector();
+        injector != nullptr &&
+        injector->should_fail(fault::FaultSite::kPinnedAlloc)) {
+      throw fault::FaultError(
+          fault::ErrorCode::kPinnedAllocFailed,
+          "injected pinned-allocation failure (slab " + std::to_string(i) +
+              " of " + std::to_string(slabs) + ")");
+    }
+    t = device_.page_lock(t);
+  }
   setup_done_ = t;
 }
 

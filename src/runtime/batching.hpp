@@ -30,9 +30,23 @@
 // holds at all times. A size trigger on one kind dispatches only that kind;
 // the other kinds keep aggregating until their own trigger, timer, or an
 // explicit flush (this is what preserves batch amortisation — ablation #1).
+//
+// Resilience: the GPU side of a batch can fail (injected via src/fault, a
+// thrown compute_gpu, or a per-batch deadline). A failed GPU batch is
+// retried with exponential backoff + deterministic jitter up to
+// gpu_max_retries; a run of breaker_threshold consecutive failures opens a
+// GPU-health circuit breaker that re-routes whole batches to the CPU side
+// (the live split degrades from k* to 1.0). After breaker_cooldown the
+// breaker goes half-open and sends a single probe item to the GPU: success
+// closes it (the auto-tuned split is restored from the surviving rate
+// estimators), failure re-opens it. When retries are exhausted — or the
+// breaker is open — a hybrid kind falls back to per-item CPU execution, so
+// every submitted item still completes; a GPU-only kind surfaces a typed
+// fault::FaultError from wait() instead of hanging.
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -44,6 +58,8 @@
 
 #include "common/diagnostics.hpp"
 #include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/dispatch.hpp"
@@ -75,7 +91,34 @@ class BatchingEngine {
     /// registry (obs::MetricsRegistry::global()). Updates are relaxed
     /// atomics on the dispatch path only, so there is no off switch.
     obs::MetricsRegistry* metrics = nullptr;
+
+    // --- resilience ---------------------------------------------------
+    /// Fault injector consulted on the GPU data path and by the CPU pool's
+    /// workers; nullptr means the process injector configured from
+    /// MH_FAULTS (fault::FaultInjector::global(), unarmed by default).
+    fault::FaultInjector* faults = nullptr;
+    /// Deadline for one GPU batch attempt; exceeding it counts as a
+    /// failure (ErrorCode::kBatchTimeout). Zero disables the deadline.
+    std::chrono::milliseconds gpu_batch_timeout{0};
+    /// Retries after the first failed GPU attempt, while the breaker stays
+    /// closed.
+    std::size_t gpu_max_retries = 2;
+    /// First retry backoff; doubles per attempt up to retry_backoff_max.
+    std::chrono::milliseconds retry_backoff{1};
+    std::chrono::milliseconds retry_backoff_max{50};
+    /// Backoff is scaled by (1 + retry_jitter * u), u drawn from a
+    /// dedicated xoshiro stream seeded with retry_seed — deterministic
+    /// decorrelation, reproducible under a fixed seed.
+    double retry_jitter = 0.25;
+    std::uint64_t retry_seed = 0x5eedULL;
+    /// Consecutive GPU-batch failures that open the circuit breaker.
+    std::size_t breaker_threshold = 3;
+    /// Open -> half-open delay before the next single-item GPU probe.
+    std::chrono::milliseconds breaker_cooldown{25};
   };
+
+  /// GPU-health circuit breaker states (degrade / probe / restore).
+  enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
 
   /// The three developer-supplied pieces of one task kind. compute_gpu may
   /// be empty (CPU-only kind) and vice versa; postprocess is required.
@@ -96,6 +139,15 @@ class BatchingEngine {
     std::size_t size_flushes = 0;
     std::size_t explicit_flushes = 0;
     std::size_t max_batch_seen = 0;
+    // Resilience accounting.
+    std::size_t gpu_failures = 0;        ///< failed GPU batch attempts
+    std::size_t gpu_retries = 0;         ///< backoff-delayed re-attempts
+    std::size_t gpu_fallback_items = 0;  ///< items re-routed GPU -> CPU
+    std::size_t breaker_opens = 0;
+    std::size_t breaker_closes = 0;
+    /// Backoff delays applied so far, in order (ms; capped at 4096
+    /// entries). Byte-for-byte reproducible under a fixed retry_seed.
+    std::vector<double> retry_backoffs_ms;
   };
 
   explicit BatchingEngine(Config config)
@@ -120,10 +172,37 @@ class BatchingEngine {
                                       {{"side", "gpu"}})),
         m_batch_items_(metrics_.histogram("mh_batching_batch_items",
                                           "items per dispatched batch")),
+        m_gpu_failures_(metrics_.counter("mh_fault_gpu_batch_failures_total",
+                                         "failed GPU batch attempts")),
+        m_gpu_retries_(metrics_.counter("mh_fault_gpu_batch_retries_total",
+                                        "GPU batch retries after backoff")),
+        m_fallback_items_(
+            metrics_.counter("mh_fault_cpu_fallback_items_total",
+                             "items re-routed from the GPU to the CPU side")),
+        m_breaker_to_open_(metrics_.counter(
+            "mh_fault_breaker_transitions_total",
+            "GPU-health circuit breaker transitions", {{"to", "open"}})),
+        m_breaker_to_half_(metrics_.counter("mh_fault_breaker_transitions_total",
+                                            {}, {{"to", "half_open"}})),
+        m_breaker_to_closed_(
+            metrics_.counter("mh_fault_breaker_transitions_total", {},
+                             {{"to", "closed"}})),
+        m_breaker_state_(metrics_.gauge(
+            "mh_fault_breaker_state",
+            "breaker state: 0 closed, 0.5 half-open, 1 open")),
+        m_breaker_open_seconds_(metrics_.counter(
+            "mh_fault_breaker_open_seconds_total",
+            "cumulative wall time the breaker spent away from closed")),
+        faults_(config.faults != nullptr ? config.faults
+                                         : &fault::FaultInjector::global()),
+        retry_rng_(config.retry_seed),
         cpu_pool_(std::max<std::size_t>(1, config.cpu_threads), "cpu-pool",
                   config.cpu_queue_capacity),
         gpu_driver_(1, "gpu-driver") {
     MH_CHECK(config_.max_batch >= 1, "batch cap must be positive");
+    // Worker-stall injection (site worker_slow) applies to the CPU workers;
+    // the GPU driver's stalls are modeled by the batch deadline instead.
+    cpu_pool_.set_fault_injector(faults_);
     dispatcher_ = std::thread([this] { dispatcher_loop(); });
   }
 
@@ -238,6 +317,11 @@ class BatchingEngine {
   Stats stats() const {
     std::scoped_lock lock(mu_);
     return stats_;
+  }
+
+  BreakerState breaker_state() const {
+    std::scoped_lock lock(mu_);
+    return breaker_;
   }
 
   /// Publish the engine's levels into its metrics registry: per-kind
@@ -391,6 +475,23 @@ class BatchingEngine {
         !kind.gpu_rate.ready() && staged.ncpu == staged.items.size()) {
       staged.ncpu = staged.items.size() - 1;
     }
+    // Circuit breaker: while the GPU is unhealthy, degrade the split to 1.0
+    // (all CPU) for hybrid kinds; in half-open, send exactly one probe item
+    // to the GPU — at most one probe in flight at a time.
+    if (kind.spec.compute_gpu && kind.spec.compute_cpu &&
+        breaker_ != BreakerState::kClosed) {
+      update_breaker_locked();
+      if (breaker_ == BreakerState::kOpen ||
+          (breaker_ == BreakerState::kHalfOpen && probe_inflight_)) {
+        staged.ncpu = staged.items.size();
+        staged.split = 1.0;
+      } else if (breaker_ == BreakerState::kHalfOpen) {
+        staged.ncpu = staged.items.size() - 1;
+        staged.split = static_cast<double>(staged.ncpu) /
+                       static_cast<double>(staged.items.size());
+        probe_inflight_ = true;
+      }
+    }
     stats_.cpu_items += staged.ncpu;
     stats_.gpu_items += staged.items.size() - staged.ncpu;
     m_cpu_items_.inc(static_cast<double>(staged.ncpu));
@@ -416,79 +517,270 @@ class BatchingEngine {
     const std::size_t ncpu = staged.ncpu;
     const double kind_id = static_cast<double>(staged.kind_id);
 
-    // GPU side: one aggregated call for the tail of the batch.
+    // GPU side: one aggregated call for the tail of the batch, wrapped in
+    // the retry/breaker machinery (run_gpu_batch).
     if (staged.items.size() > ncpu) {
       auto gpu_items = std::make_shared<std::vector<Input>>(
           std::make_move_iterator(staged.items.begin() +
                                   static_cast<std::ptrdiff_t>(ncpu)),
           std::make_move_iterator(staged.items.end()));
       gpu_driver_.submit([this, kptr, kind_id, gpu_items] {
-        std::vector<Output> outs;
-        try {
-          obs::ScopedSpan gpu_span(
-              trace_, "gpu-batch", obs::Category::kGpuKernel,
-              {{"kind", kind_id},
-               {"items", static_cast<double>(gpu_items->size())}});
-          const auto t0 = std::chrono::steady_clock::now();
-          outs = kptr->spec.compute_gpu(
-              std::span<const Input>{gpu_items->data(), gpu_items->size()});
-          const std::chrono::duration<double> dt =
-              std::chrono::steady_clock::now() - t0;
-          MH_CHECK(outs.size() == gpu_items->size(),
-                   "GPU batch must return one output per input");
-          std::scoped_lock lock(mu_);
-          kptr->gpu_rate.record(gpu_items->size(), dt.count());
-        } catch (...) {
-          record_error(std::current_exception());
-          // Account for the whole failed batch so wait() can't deadlock.
-          for (std::size_t i = 0; i < gpu_items->size(); ++i) complete_one();
-          return;
-        }
-        for (Output& out : outs) {
-          auto boxed = std::make_shared<Output>(std::move(out));
-          cpu_pool_.submit([this, kptr, kind_id, boxed] {
-            try {
-              obs::ScopedSpan post_span(trace_, "postprocess",
-                                        obs::Category::kPostprocess,
-                                        {{"kind", kind_id}});
-              kptr->spec.postprocess(std::move(*boxed));
-            } catch (...) {
-              record_error(std::current_exception());
-            }
-            complete_one();
-          });
-        }
+        run_gpu_batch(kptr, kind_id, gpu_items);
       });
     }
 
     // CPU side: one worker task per item (they are independent MADNESS
     // tasks; the pool spreads them over the cpu_threads workers).
     for (std::size_t i = 0; i < ncpu; ++i) {
-      auto boxed = std::make_shared<Input>(std::move(staged.items[i]));
+      submit_cpu_item(kptr, kind_id,
+                      std::make_shared<Input>(std::move(staged.items[i])));
+    }
+  }
+
+  /// Compute+postprocess one item on the CPU pool — the CPU share of a
+  /// batch, and the per-item fallback path for failed GPU batches.
+  void submit_cpu_item(Kind* kptr, double kind_id,
+                       std::shared_ptr<Input> boxed) {
+    cpu_pool_.submit([this, kptr, kind_id, boxed] {
+      try {
+        Output out = [&] {
+          obs::ScopedSpan cpu_span(trace_, "cpu-compute",
+                                   obs::Category::kCpuCompute,
+                                   {{"kind", kind_id}});
+          const auto t0 = std::chrono::steady_clock::now();
+          Output result = kptr->spec.compute_cpu(*boxed);
+          const std::chrono::duration<double> dt =
+              std::chrono::steady_clock::now() - t0;
+          std::scoped_lock lock(mu_);
+          kptr->cpu_rate.record(1, dt.count());
+          return result;
+        }();
+        obs::ScopedSpan post_span(trace_, "postprocess",
+                                  obs::Category::kPostprocess,
+                                  {{"kind", kind_id}});
+        kptr->spec.postprocess(std::move(out));
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+      complete_one();
+    });
+  }
+
+  // --- GPU-side resilience --------------------------------------------
+
+  /// One GPU attempt: injected transfer/kernel faults, the aggregated
+  /// compute_gpu call, the per-batch deadline. Throws on any failure; on
+  /// success records the rate sample and submits postprocess tasks.
+  void gpu_attempt(Kind* kptr, double kind_id,
+                   const std::shared_ptr<std::vector<Input>>& gpu_items) {
+    std::vector<Output> outs;
+    {
+      obs::ScopedSpan gpu_span(
+          trace_, "gpu-batch", obs::Category::kGpuKernel,
+          {{"kind", kind_id},
+           {"items", static_cast<double>(gpu_items->size())}});
+      if (faults_->armed()) {
+        if (faults_->should_fail(fault::FaultSite::kTransferH2D)) {
+          throw fault::FaultError(fault::ErrorCode::kTransferTimeout,
+                                  "injected H2D transfer timeout");
+        }
+        if (faults_->should_fail(fault::FaultSite::kGpuKernel)) {
+          throw fault::FaultError(fault::ErrorCode::kGpuKernelFailed,
+                                  "injected GPU kernel failure");
+        }
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      outs = kptr->spec.compute_gpu(
+          std::span<const Input>{gpu_items->data(), gpu_items->size()});
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      if (faults_->armed() &&
+          faults_->should_fail(fault::FaultSite::kTransferD2H)) {
+        throw fault::FaultError(fault::ErrorCode::kTransferTimeout,
+                                "injected D2H transfer timeout");
+      }
+      if (config_.gpu_batch_timeout.count() > 0 &&
+          dt > config_.gpu_batch_timeout) {
+        throw fault::FaultError(fault::ErrorCode::kBatchTimeout,
+                                "GPU batch exceeded its deadline");
+      }
+      MH_CHECK(outs.size() == gpu_items->size(),
+               "GPU batch must return one output per input");
+      const std::chrono::duration<double> secs = dt;
+      std::scoped_lock lock(mu_);
+      kptr->gpu_rate.record(gpu_items->size(), secs.count());
+    }
+    for (Output& out : outs) {
+      auto boxed = std::make_shared<Output>(std::move(out));
       cpu_pool_.submit([this, kptr, kind_id, boxed] {
         try {
-          Output out = [&] {
-            obs::ScopedSpan cpu_span(trace_, "cpu-compute",
-                                     obs::Category::kCpuCompute,
-                                     {{"kind", kind_id}});
-            const auto t0 = std::chrono::steady_clock::now();
-            Output result = kptr->spec.compute_cpu(*boxed);
-            const std::chrono::duration<double> dt =
-                std::chrono::steady_clock::now() - t0;
-            std::scoped_lock lock(mu_);
-            kptr->cpu_rate.record(1, dt.count());
-            return result;
-          }();
           obs::ScopedSpan post_span(trace_, "postprocess",
                                     obs::Category::kPostprocess,
                                     {{"kind", kind_id}});
-          kptr->spec.postprocess(std::move(out));
+          kptr->spec.postprocess(std::move(*boxed));
         } catch (...) {
           record_error(std::current_exception());
         }
         complete_one();
       });
     }
+  }
+
+  /// Retry loop around gpu_attempt, run on the gpu-driver thread. Bounded
+  /// retries with backoff while the breaker stays closed; on exhaustion
+  /// (or an open breaker) the batch falls back to the CPU side, or — for a
+  /// GPU-only kind — surfaces a typed error from wait().
+  void run_gpu_batch(Kind* kptr, double kind_id,
+                     const std::shared_ptr<std::vector<Input>>& gpu_items) {
+    for (std::size_t attempt = 0;; ++attempt) {
+      try {
+        gpu_attempt(kptr, kind_id, gpu_items);
+        on_gpu_success();
+        return;
+      } catch (...) {
+        const std::exception_ptr cause = std::current_exception();
+        const bool breaker_open = on_gpu_failure();
+        if (!breaker_open && attempt < config_.gpu_max_retries) {
+          backoff_sleep(attempt);
+          continue;
+        }
+        finish_failed_gpu_batch(kptr, kind_id, gpu_items, cause, attempt + 1);
+        return;
+      }
+    }
+  }
+
+  /// Exponential backoff with deterministic jitter before a retry.
+  void backoff_sleep(std::size_t attempt) {
+    double delay_ms = 0.0;
+    {
+      std::scoped_lock lock(mu_);
+      const double base = std::min(
+          static_cast<double>(config_.retry_backoff.count()) *
+              std::pow(2.0, static_cast<double>(attempt)),
+          static_cast<double>(config_.retry_backoff_max.count()));
+      delay_ms = base * (1.0 + config_.retry_jitter * retry_rng_.next_double());
+      ++stats_.gpu_retries;
+      if (stats_.retry_backoffs_ms.size() < 4096) {
+        stats_.retry_backoffs_ms.push_back(delay_ms);
+      }
+    }
+    m_gpu_retries_.inc();
+    if (trace_ != nullptr) trace_->counter_add("fault.gpu_retries", 1.0);
+    obs::ScopedSpan span(trace_, "gpu-retry-backoff", obs::Category::kOther,
+                         {{"delay_ms", delay_ms}});
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+
+  /// Record a failed GPU attempt; advances the breaker. Returns whether
+  /// the breaker is now open (which short-circuits further retries).
+  bool on_gpu_failure() {
+    m_gpu_failures_.inc();
+    if (trace_ != nullptr) trace_->counter_add("fault.gpu_failures", 1.0);
+    std::scoped_lock lock(mu_);
+    ++stats_.gpu_failures;
+    ++consecutive_gpu_failures_;
+    const bool probe_failed = breaker_ == BreakerState::kHalfOpen;
+    probe_inflight_ = false;
+    if (probe_failed ||
+        (breaker_ == BreakerState::kClosed &&
+         consecutive_gpu_failures_ >= config_.breaker_threshold)) {
+      open_breaker_locked();
+    }
+    return breaker_ == BreakerState::kOpen;
+  }
+
+  /// Record a successful GPU batch; closes the breaker if it was probing.
+  void on_gpu_success() {
+    std::scoped_lock lock(mu_);
+    consecutive_gpu_failures_ = 0;
+    probe_inflight_ = false;
+    if (breaker_ == BreakerState::kClosed) return;
+    const std::chrono::duration<double> open_for =
+        std::chrono::steady_clock::now() - breaker_opened_at_;
+    m_breaker_open_seconds_.inc(open_for.count());
+    breaker_ = BreakerState::kClosed;
+    ++stats_.breaker_closes;
+    m_breaker_to_closed_.inc();
+    m_breaker_state_.set(0.0);
+    if (trace_ != nullptr) {
+      trace_->counter_add("fault.breaker_transitions", 1.0);
+      trace_->hist_record("fault.breaker_open_seconds", open_for.count());
+    }
+  }
+
+  void open_breaker_locked() {
+    if (breaker_ != BreakerState::kOpen) {
+      // Entering open from closed starts the degradation interval; a failed
+      // half-open probe re-opens without restarting interval accounting
+      // (breaker_opened_at_ keeps the original open timestamp only when
+      // transitioning from closed).
+      if (breaker_ == BreakerState::kClosed) {
+        breaker_opened_at_ = std::chrono::steady_clock::now();
+        ++stats_.breaker_opens;
+      }
+      breaker_ = BreakerState::kOpen;
+      m_breaker_to_open_.inc();
+      m_breaker_state_.set(1.0);
+      if (trace_ != nullptr) {
+        trace_->counter_add("fault.breaker_transitions", 1.0);
+      }
+    }
+    // Every failure while open restarts the cooldown clock.
+    breaker_reprobe_at_ =
+        std::chrono::steady_clock::now() + config_.breaker_cooldown;
+  }
+
+  /// Open -> half-open once the cooldown has elapsed (called while staging
+  /// under mu_, so transitions happen at batch granularity).
+  void update_breaker_locked() {
+    if (breaker_ == BreakerState::kOpen &&
+        std::chrono::steady_clock::now() >= breaker_reprobe_at_) {
+      breaker_ = BreakerState::kHalfOpen;
+      probe_inflight_ = false;
+      m_breaker_to_half_.inc();
+      m_breaker_state_.set(0.5);
+      if (trace_ != nullptr) {
+        trace_->counter_add("fault.breaker_transitions", 1.0);
+      }
+    }
+  }
+
+  /// Terminal handling of a GPU batch that will not run on the GPU: CPU
+  /// fallback for hybrid kinds, a typed recorded error otherwise. Either
+  /// way every item is accounted for, so wait() never hangs.
+  void finish_failed_gpu_batch(
+      Kind* kptr, double kind_id,
+      const std::shared_ptr<std::vector<Input>>& gpu_items,
+      const std::exception_ptr& cause, std::size_t attempts) {
+    if (kptr->spec.compute_cpu) {
+      {
+        std::scoped_lock lock(mu_);
+        stats_.gpu_fallback_items += gpu_items->size();
+      }
+      m_fallback_items_.inc(static_cast<double>(gpu_items->size()));
+      if (trace_ != nullptr) {
+        trace_->counter_add("fault.cpu_fallback_items",
+                            static_cast<double>(gpu_items->size()));
+      }
+      for (Input& item : *gpu_items) {
+        submit_cpu_item(kptr, kind_id,
+                        std::make_shared<Input>(std::move(item)));
+      }
+      return;
+    }
+    std::string why = "unknown error";
+    try {
+      std::rethrow_exception(cause);
+    } catch (const std::exception& e) {
+      why = e.what();
+    } catch (...) {
+    }
+    record_error(std::make_exception_ptr(fault::FaultError(
+        fault::ErrorCode::kGpuRetriesExhausted,
+        "GPU batch failed after " + std::to_string(attempts) +
+            " attempt(s) with no CPU fallback: " + why)));
+    for (std::size_t i = 0; i < gpu_items->size(); ++i) complete_one();
   }
 
   void complete_one() {
@@ -512,6 +804,15 @@ class BatchingEngine {
   obs::Counter& m_cpu_items_;
   obs::Counter& m_gpu_items_;
   obs::Histogram& m_batch_items_;
+  obs::Counter& m_gpu_failures_;
+  obs::Counter& m_gpu_retries_;
+  obs::Counter& m_fallback_items_;
+  obs::Counter& m_breaker_to_open_;
+  obs::Counter& m_breaker_to_half_;
+  obs::Counter& m_breaker_to_closed_;
+  obs::Gauge& m_breaker_state_;
+  obs::Counter& m_breaker_open_seconds_;
+  fault::FaultInjector* faults_;
   mutable std::mutex mu_;
   std::condition_variable dispatch_cv_;
   std::condition_variable done_cv_;
@@ -520,6 +821,13 @@ class BatchingEngine {
   std::exception_ptr first_error_;
   bool flush_requested_ = false;
   bool stop_ = false;
+  // Resilience state (all under mu_ except the metric handles above).
+  Rng retry_rng_;
+  BreakerState breaker_ = BreakerState::kClosed;
+  std::size_t consecutive_gpu_failures_ = 0;
+  bool probe_inflight_ = false;
+  std::chrono::steady_clock::time_point breaker_opened_at_{};
+  std::chrono::steady_clock::time_point breaker_reprobe_at_{};
 
   ThreadPool cpu_pool_;
   ThreadPool gpu_driver_;  // serializes "GPU" batch calls like one device

@@ -13,6 +13,7 @@
 // task-spawned tasks cannot deadlock the pool against itself.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -27,6 +28,10 @@
 namespace mh::obs {
 class MetricsRegistry;
 }  // namespace mh::obs
+
+namespace mh::fault {
+class FaultInjector;
+}  // namespace mh::fault
 
 namespace mh::rt {
 
@@ -77,6 +82,13 @@ class ThreadPool {
   /// pool=<name>. Called from a Sampler probe (any thread).
   void sample_metrics(obs::MetricsRegistry& registry) const;
 
+  /// Fault injector consulted by workers before each task for injected
+  /// stalls (site worker_slow — a descheduled/slow worker). nullptr (the
+  /// default) disables injection for this pool.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    injector_.store(injector, std::memory_order_release);
+  }
+
  private:
   void worker_loop(std::size_t index);
   bool is_worker_thread() const noexcept;
@@ -96,6 +108,7 @@ class ThreadPool {
   double busy_seconds_ = 0.0;
   std::exception_ptr first_error_;
   bool stop_ = false;
+  std::atomic<fault::FaultInjector*> injector_{nullptr};
 };
 
 }  // namespace mh::rt

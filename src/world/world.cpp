@@ -1,5 +1,9 @@
 #include "world/world.hpp"
 
+#include <cmath>
+#include <string>
+#include <thread>
+
 #include "common/diagnostics.hpp"
 
 namespace mh::world {
@@ -7,7 +11,18 @@ namespace mh::world {
 World::World(std::size_t ranks, obs::MetricsRegistry* metrics)
     : metrics_(metrics ? *metrics : obs::MetricsRegistry::global()),
       m_tasks_(metrics_.counter("mh_world_tasks_total",
-                                "tasks and AM handlers executed")) {
+                                "tasks and AM handlers executed")),
+      m_send_retries_(metrics_.counter(
+          "mh_world_send_retries_total",
+          "remote sends re-attempted after an injected failure")),
+      m_send_failures_(metrics_.counter(
+          "mh_world_send_failures_total",
+          "remote sends dropped after exhausting retries")),
+      m_dead_ranks_(metrics_.gauge("mh_world_dead_ranks",
+                                   "ranks declared permanently dead")),
+      faults_(&fault::FaultInjector::global()),
+      send_rng_(SendPolicy{}.seed),
+      rank_dead_(ranks, false) {
   MH_CHECK(ranks >= 1, "world needs at least one rank");
   pools_.reserve(ranks);
   m_rank_messages_.reserve(ranks);
@@ -72,11 +87,96 @@ void World::submit(std::size_t rank, std::function<void()> task) {
   enqueue(rank, std::move(task), "task", obs::Category::kCpuCompute);
 }
 
+void World::set_send_policy(const SendPolicy& policy) {
+  std::scoped_lock lock(mu_);
+  send_policy_ = policy;
+  send_rng_ = Rng(policy.seed);
+}
+
+void World::set_fault_injector(fault::FaultInjector* injector) {
+  std::scoped_lock lock(mu_);
+  faults_ = injector != nullptr ? injector : &fault::FaultInjector::global();
+}
+
+std::vector<std::size_t> World::dead_ranks() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::size_t> dead;
+  for (std::size_t r = 0; r < rank_dead_.size(); ++r) {
+    if (rank_dead_[r]) dead.push_back(r);
+  }
+  return dead;
+}
+
+bool World::rank_alive(std::size_t rank) const {
+  MH_CHECK(rank < pools_.size(), "rank out of range");
+  std::scoped_lock lock(mu_);
+  return !rank_dead_[rank];
+}
+
 void World::send(std::size_t from, std::size_t to, double bytes,
                  std::function<void()> handler) {
   MH_CHECK(from < pools_.size(), "source rank out of range");
+  MH_CHECK(to < pools_.size(), "destination rank out of range");
   MH_CHECK(bytes >= 0.0, "negative payload");
   if (from != to) {
+    // Remote path: the send itself can fail. Retry with backoff on the
+    // sending thread (a blocked sender is how a real AM layer behaves);
+    // exhausting the retries declares the destination dead.
+    fault::FaultInjector* injector;
+    SendPolicy policy;
+    {
+      std::scoped_lock lock(mu_);
+      injector = faults_;
+      policy = send_policy_;
+      if (rank_dead_[to]) {
+        ++stats_.send_failures;
+        m_send_failures_.inc();
+        if (!first_error_) {
+          first_error_ = std::make_exception_ptr(fault::FaultError(
+              fault::ErrorCode::kRankDead,
+              "send to dead rank " + std::to_string(to)));
+        }
+        return;
+      }
+    }
+    for (std::size_t attempt = 0;
+         injector->armed(fault::FaultSite::kSend) &&
+         injector->should_fail(fault::FaultSite::kSend);
+         ++attempt) {
+      if (attempt >= policy.max_retries) {
+        // Permanently dead: drop the handler, record the typed error for
+        // fence(), and report the rank through dead_ranks()/metrics.
+        std::scoped_lock lock(mu_);
+        if (!rank_dead_[to]) {
+          rank_dead_[to] = true;
+          double dead = 0.0;
+          for (const bool d : rank_dead_) dead += d ? 1.0 : 0.0;
+          m_dead_ranks_.set(dead);
+        }
+        ++stats_.send_failures;
+        m_send_failures_.inc();
+        if (!first_error_) {
+          first_error_ = std::make_exception_ptr(fault::FaultError(
+              fault::ErrorCode::kRankDead,
+              "rank " + std::to_string(to) + " declared dead: send failed " +
+                  std::to_string(attempt + 1) + " time(s)"));
+        }
+        return;
+      }
+      double delay_ms = 0.0;
+      {
+        std::scoped_lock lock(mu_);
+        ++stats_.send_retries;
+        const double base = std::min(
+            static_cast<double>(policy.backoff.count()) *
+                std::pow(2.0, static_cast<double>(attempt)),
+            static_cast<double>(policy.backoff_max.count()));
+        delay_ms = base * (1.0 + policy.jitter * send_rng_.next_double());
+      }
+      m_send_retries_.inc();
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
     m_rank_messages_[to]->inc();
     m_rank_bytes_[to]->inc(bytes);
     std::scoped_lock lock(mu_);

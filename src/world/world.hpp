@@ -10,13 +10,17 @@
 // barrier (cf. world.gop.fence()).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
@@ -42,8 +46,34 @@ class World {
 
   /// Active message: run `handler` on rank `to`, accounting `bytes` of
   /// payload from rank `from`. Local sends (from == to) are free.
+  ///
+  /// Remote sends can fail (site `send` of the world's fault injector).
+  /// A failed send is retried with exponential backoff + deterministic
+  /// jitter up to SendPolicy::max_retries; when every attempt fails the
+  /// destination rank is declared permanently dead, the handler is
+  /// dropped, and a typed fault::FaultError (kRankDead) is recorded for
+  /// the next fence(). Sends to an already-dead rank fail fast.
   void send(std::size_t from, std::size_t to, double bytes,
             std::function<void()> handler);
+
+  /// Retry/backoff knobs for remote sends.
+  struct SendPolicy {
+    std::size_t max_retries = 3;  ///< re-attempts after the first failure
+    std::chrono::milliseconds backoff{1};  ///< doubles per attempt
+    std::chrono::milliseconds backoff_max{20};
+    double jitter = 0.25;  ///< backoff *= (1 + jitter * u), u in [0,1)
+    std::uint64_t seed = 0x5eedULL;  ///< jitter stream seed
+  };
+  /// Replace the send policy (call before traffic starts).
+  void set_send_policy(const SendPolicy& policy);
+
+  /// Fault injector consulted on every remote send; nullptr (the default)
+  /// means the process injector configured from MH_FAULTS.
+  void set_fault_injector(fault::FaultInjector* injector);
+
+  /// Ranks declared permanently dead by exhausted send retries, ascending.
+  std::vector<std::size_t> dead_ranks() const;
+  bool rank_alive(std::size_t rank) const;
 
   /// Block until every task and active message (including ones spawned
   /// transitively) has executed. Rethrows the first task error.
@@ -53,6 +83,8 @@ class World {
     std::size_t tasks = 0;      ///< tasks + handlers executed
     std::size_t messages = 0;   ///< remote sends
     double bytes = 0.0;         ///< payload bytes of remote sends
+    std::size_t send_retries = 0;   ///< backoff-delayed re-attempts
+    std::size_t send_failures = 0;  ///< sends dropped permanently
   };
   Stats stats() const;
 
@@ -67,6 +99,9 @@ class World {
 
   obs::MetricsRegistry& metrics_;
   obs::Counter& m_tasks_;
+  obs::Counter& m_send_retries_;
+  obs::Counter& m_send_failures_;
+  obs::Gauge& m_dead_ranks_;
   /// Per-destination-rank active-message counters (label rank=<to>).
   std::vector<obs::Counter*> m_rank_messages_;
   std::vector<obs::Counter*> m_rank_bytes_;
@@ -76,6 +111,12 @@ class World {
   std::size_t outstanding_ = 0;
   Stats stats_;
   std::exception_ptr first_error_;
+  // Send resilience (policy/injector fixed before traffic; rng + dead set
+  // under mu_).
+  SendPolicy send_policy_;
+  fault::FaultInjector* faults_;
+  Rng send_rng_;
+  std::vector<bool> rank_dead_;
 };
 
 }  // namespace mh::world
