@@ -13,15 +13,20 @@
 // real-thread BatchingEngine pass is traced into the same file so it
 // carries both clock domains.
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "bench_common.hpp"
 #include "bench_harness.hpp"
+#include "common/diagnostics.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
 #include "runtime/batching.hpp"
 
 namespace {
@@ -56,6 +61,40 @@ void add_mode(TextTable& t, Harness& h, const std::string& key,
   h.scalar(key + "_makespan_s", result.makespan.sec(), "s");
   h.scalar(key + "_cpu_compute_s", totals.sim(C::kCpuCompute).sec(), "s");
   h.scalar(key + "_dispatch_s", totals.sim(C::kBatchFlush).sec(), "s");
+}
+
+// Round-trip the hybrid run's trace through the exporter + reader and run
+// the critical-path / overlap-model analyzer on it (obs/critical_path.hpp):
+// the same path `mh_trace_analyze <trace.json>` takes offline. Gates the
+// paper's overlap math in CI — overlap efficiency is measured-vs-ideal
+// m·n/(m+n) per batch, split residual is |k - k*| of the live split — and
+// checks that the critical-path attribution telescopes to the makespan
+// within 1%.
+void overlap_analysis(Harness& h, obs::TraceSession& session) {
+  std::stringstream ss;
+  session.write_chrome_trace(ss);
+  obs::ReadTrace trace;
+  std::string error;
+  MH_CHECK(obs::read_chrome_trace(ss, &trace, &error),
+           "exported trace must parse: " + error);
+  const obs::TraceAnalysis a = obs::analyze_trace(trace);
+  const double makespan = a.makespan_us();
+  const double attributed = a.critical.total_us();
+  MH_CHECK(makespan <= 0.0 ||
+               std::abs(attributed - makespan) <= 0.01 * makespan,
+           "critical-path attribution must telescope to the makespan");
+  std::cout << "\noverlap model (hybrid, " << a.batches.size()
+            << " batches): efficiency " << fmt(a.overlap_efficiency, 3)
+            << ", split residual |k-k*| " << fmt(a.split_residual_abs, 4)
+            << ", critical path " << fmt(makespan / 1e6) << " s across "
+            << a.path.size() << " steps\n";
+  // Deterministic simulated-time results: both gate against baselines.
+  h.scalar("hybrid_overlap_efficiency", a.overlap_efficiency, "",
+           Direction::kHigherIsBetter, /*gate=*/true);
+  h.scalar("hybrid_split_residual", a.split_residual_abs, "",
+           Direction::kLowerIsBetter, /*gate=*/true);
+  h.scalar("hybrid_critical_path_steps", static_cast<double>(a.path.size()),
+           "", Direction::kLowerIsBetter, /*gate=*/false);
 }
 
 // A short real-thread BatchingEngine pass traced into `session`, so an
@@ -140,8 +179,10 @@ int run(int argc, char** argv) {
       "trace track; CPU compute and the GPU chain overlap inside a hybrid "
       "batch, so rows can exceed the makespan.");
 
+  overlap_analysis(h, hybrid_session);
   live_engine_pass(h, hybrid_session);
-  if (const char* path = std::getenv("MH_TRACE"); path != nullptr) {
+  if (const char* path = std::getenv("MH_TRACE");
+      path != nullptr && *path != '\0') {
     if (hybrid_session.write_chrome_trace_file(path)) {
       print_footnote(std::string("trace: wrote ") +
                      std::to_string(hybrid_session.span_count()) +

@@ -5,14 +5,63 @@
 // distribution erodes it. This isolates the load-imbalance mechanism the
 // paper holds responsible for its sublinear strong scaling.
 #include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "bench_harness.hpp"
+#include "common/diagnostics.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
 
 namespace {
 
 using namespace mh;
 using namespace mh::bench;
+
+// Multi-rank causal tracing: rerun the 4-node hybrid point with one
+// TraceSession per simulated rank, stitch them into a single merged Chrome
+// trace (rank-qualified pids), and run the critical-path / overlap-model
+// analyzer over the merged DAG. Gates the overlap scalars at the default
+// seed — the cross-rank analogue of bench_breakdown's single-node gate.
+void traced_multirank_point(Harness& h, const cluster::Workload& w,
+                            cluster::ClusterConfig cfg, bool gate) {
+  const std::size_t nodes = cfg.nodes;
+  std::vector<std::unique_ptr<obs::TraceSession>> sessions;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    sessions.push_back(std::make_unique<obs::TraceSession>());
+    cfg.node_traces.push_back(sessions.back().get());
+  }
+  const auto loads = cluster::even_map(w.tasks, nodes);
+  const auto result = cluster::run_cluster_apply(w, loads, cfg);
+  if (!result.feasible) return;
+
+  std::vector<obs::RankedSession> ranked;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    ranked.push_back({"rank" + std::to_string(i), sessions[i].get()});
+  }
+  std::stringstream ss;
+  obs::write_merged_chrome_trace(ss, ranked);
+  obs::ReadTrace trace;
+  std::string error;
+  MH_CHECK(obs::read_chrome_trace(ss, &trace, &error),
+           "merged trace must parse: " + error);
+  const obs::TraceAnalysis a = obs::analyze_trace(trace);
+  std::cout << "\ntraced 4-node hybrid: overlap efficiency "
+            << fmt(a.overlap_efficiency, 3) << " over " << a.batches.size()
+            << " batches, split residual |k-k*| "
+            << fmt(a.split_residual_abs, 4) << ", slowest rank "
+            << (a.stragglers.empty() ? std::string("-")
+                                     : a.stragglers.front().name)
+            << "\n";
+  h.scalar("traced4_overlap_efficiency", a.overlap_efficiency, "",
+           Direction::kHigherIsBetter, gate);
+  h.scalar("traced4_split_residual", a.split_residual_abs, "",
+           Direction::kLowerIsBetter, gate);
+}
 
 int run(int argc, char** argv) {
   Harness h("weak_scaling", argc, argv);
@@ -21,6 +70,7 @@ int run(int argc, char** argv) {
       "per node");
   const std::size_t per_node = 1200;
   const std::uint64_t seed = h.seed_or(4242);
+  bool traced_point_done = false;
 
   TextTable t({"nodes", "even map (s)", "locality map (s)", "imbalance",
                "LPT map (s)", "LPT imbalance"});
@@ -55,7 +105,12 @@ int run(int argc, char** argv) {
              Direction::kLowerIsBetter, gate);
     h.scalar(prefix + "_lpt_s", lpt.sec, "s", Direction::kLowerIsBetter,
              gate);
+    if (nodes == 4) {
+      traced_multirank_point(h, w, cfg, gate);
+      traced_point_done = true;
+    }
   }
+  MH_CHECK(traced_point_done, "4-node traced point must run");
   t.print(std::cout);
   print_footnote(
       "flat even-map rows = the machine scales; rising locality rows = the\n"

@@ -9,16 +9,21 @@ namespace mh::cluster {
 namespace {
 
 // Span sink for one node's phase track; a null session makes every call a
-// no-op so the simulation paths need no guards.
+// no-op so the simulation paths need no guards. Spans carry causal
+// identity: `link` names the preceding span and the batch task; the
+// returned id lets the caller chain the next span.
 struct NodeTracer {
   obs::TraceSession* session = nullptr;
   std::uint32_t phases = 0;
 
-  void span(const char* name, obs::Category cat, SimTime start,
-            SimTime end) const {
+  std::uint64_t span(const char* name, obs::Category cat, SimTime start,
+                     SimTime end, obs::TraceSession::SimLink link = {},
+                     std::initializer_list<obs::SpanArg> args = {}) const {
     if (session != nullptr && end > start) {
-      session->record_sim(phases, name, cat, start, end);
+      return session->record_sim_linked(phases, name, cat, start, end, link,
+                                        args);
     }
+    return 0;
   }
 };
 
@@ -66,36 +71,53 @@ bool gpu_fits(const Workload& workload, std::size_t tasks,
   return true;
 }
 
-void record_batch(NodeBreakdown* bd, const NodeTracer& tracer,
-                  const gpu::BatchTiming& timing) {
+// Records the batch's phase spans and returns the id of the last one, so
+// the next batch (or the comm tail) can chain to it. `link` seeds the
+// chain: parent = preceding span, task = the batch's task id (0 lets the
+// first recorded span start a task under its own id).
+std::uint64_t record_batch(NodeBreakdown* bd, const NodeTracer& tracer,
+                           const gpu::BatchTiming& timing,
+                           obs::TraceSession::SimLink link = {}) {
   if (bd != nullptr) {
     bd->host_data += timing.host_prep + timing.host_post;
     bd->dispatch += timing.dispatch;
     bd->transfers += timing.transfer_in + timing.transfer_out;
     bd->gpu_kernels += timing.kernel_span;
   }
-  // Phase spans laid out back-to-back in data-path order (Figure 3); the
-  // device's own stream tracks carry the exact per-kernel timing.
+  // Phase spans laid out back-to-back in data-path order (Figure 3), each
+  // chained to its predecessor; the device's own stream tracks carry the
+  // exact per-kernel timing.
+  std::uint64_t prev = link.parent;
+  std::uint64_t task = link.task;
+  const auto chain = [&](const char* name, obs::Category cat, SimTime s,
+                         SimTime e) {
+    const std::uint64_t id = tracer.span(name, cat, s, e, {prev, task});
+    if (id != 0) {
+      prev = id;
+      if (task == 0) task = id;  // root span started the batch's task
+    }
+  };
   SimTime t = timing.start;
-  tracer.span("preprocess", obs::Category::kPreprocess, t,
-              t + timing.host_prep);
+  chain("preprocess", obs::Category::kPreprocess, t, t + timing.host_prep);
   t += timing.host_prep;
-  tracer.span("dispatch", obs::Category::kBatchFlush, t, t + timing.dispatch);
+  chain("dispatch", obs::Category::kBatchFlush, t, t + timing.dispatch);
   t += timing.dispatch;
-  tracer.span("h2d", obs::Category::kTransfer, t, t + timing.transfer_in);
+  chain("h2d", obs::Category::kTransfer, t, t + timing.transfer_in);
   t += timing.transfer_in;
-  tracer.span("kernels", obs::Category::kGpuKernel, t, t + timing.kernel_span);
+  chain("kernels", obs::Category::kGpuKernel, t, t + timing.kernel_span);
   t += timing.kernel_span;
-  tracer.span("d2h", obs::Category::kTransfer, t, t + timing.transfer_out);
-  tracer.span("postprocess", obs::Category::kPostprocess,
-              timing.total_done - timing.host_post, timing.total_done);
+  chain("d2h", obs::Category::kTransfer, t, t + timing.transfer_out);
+  chain("postprocess", obs::Category::kPostprocess,
+        timing.total_done - timing.host_post, timing.total_done);
+  return prev;
 }
 
 SimTime gpu_only_node_time(const Workload& workload, std::size_t tasks,
                            const ClusterConfig& config,
                            NodeBreakdown* breakdown,
                            const NodeTracer& tracer,
-                           const std::string& node_track) {
+                           const std::string& node_track,
+                           std::uint64_t* last_span) {
   gpu::GpuDevice device(config.node.device, config.node.gpu_streams);
   if (tracer.session != nullptr) {
     device.set_trace(tracer.session, node_track + "/gpu/");
@@ -105,14 +127,19 @@ SimTime gpu_only_node_time(const Workload& workload, std::size_t tasks,
   std::size_t remaining_new = workload.unique_h_blocks;
   SimTime t = SimTime::zero();
   std::size_t left = tasks;
+  std::uint64_t prev_last = 0;
   while (left > 0) {
     const std::size_t count = std::min(left, config.batch_size);
     const auto batch = make_batch(workload, count, remaining_new);
+    const std::uint64_t task = obs::mint_span_id();
+    device.set_trace_link({prev_last, task});
     const auto timing = gpu::run_apply_batch(device, nullptr, batch, gcfg, t);
-    record_batch(breakdown, tracer, timing);
+    prev_last =
+        record_batch(breakdown, tracer, timing, {prev_last, task});
     t = timing.total_done;
     left -= count;
   }
+  if (last_span != nullptr) *last_span = prev_last;
   return t;
 }
 
@@ -126,7 +153,8 @@ SimTime cpu_only_node_time(const Workload& workload, std::size_t tasks,
 SimTime hybrid_node_time(const Workload& workload, std::size_t tasks,
                          const ClusterConfig& config,
                          NodeBreakdown* breakdown, const NodeTracer& tracer,
-                         const std::string& node_track) {
+                         const std::string& node_track,
+                         std::uint64_t* last_span) {
   gpu::GpuDevice device(config.node.device, config.node.gpu_streams);
   if (tracer.session != nullptr) {
     device.set_trace(tracer.session, node_track + "/gpu/");
@@ -138,6 +166,7 @@ SimTime hybrid_node_time(const Workload& workload, std::size_t tasks,
   // measured on a probe batch (mirrors the paper: the developer knows the
   // relative CPU/GPU performance of the operator).
   double frac = config.cpu_fraction;
+  double gpu_per_item_s = 0.0;  // probe GPU-only seconds per item
   if (frac < 0.0) {
     const std::size_t probe = std::min<std::size_t>(
         std::max<std::size_t>(tasks, 1), config.batch_size);
@@ -152,14 +181,57 @@ SimTime hybrid_node_time(const Workload& workload, std::size_t tasks,
                              SimTime::zero())
             .elapsed();
     frac = rt::optimal_cpu_fraction(m.sec(), n.sec());
+    gpu_per_item_s = n.sec() / static_cast<double>(probe);
+    if (tracer.session != nullptr) {
+      // Zero-length marker carrying the measured full-batch CPU-only (m)
+      // and GPU-only (n) times — the overlap-model analyzer compares every
+      // batch's measured makespan against m·n/(m+n) built from these.
+      tracer.session->record_sim_linked(
+          tracer.phases, "probe", obs::Category::kOther, SimTime::zero(),
+          SimTime::zero(), {},
+          {{"m_us", m.us()},
+           {"n_us", n.us()},
+           {"items", static_cast<double>(probe)},
+           {"frac", frac}});
+    }
   }
 
   std::size_t remaining_new = workload.unique_h_blocks;
   SimTime t = SimTime::zero();
   std::size_t left = tasks;
+  std::uint64_t prev_last = 0;
   while (left > 0) {
     const std::size_t count = std::min(left, config.batch_size);
-    const std::size_t ncpu = rt::cpu_share(count, frac);
+    std::size_t ncpu = rt::cpu_share(count, frac);
+    // Quantization-aware refinement (auto-split only): cpu_batch_time runs
+    // in whole rounds of cpu_compute_threads items, so the continuous k*
+    // can strand a mostly-idle final CPU round (e.g. 32 items on 10
+    // threads = 4 rounds, the last one 80% empty). Snap ncpu to the
+    // neighbouring round boundaries and keep whichever candidate the model
+    // predicts finishes the batch soonest. An explicit cpu_fraction stays
+    // untouched — it is the caller's ablation knob.
+    if (gpu_per_item_s > 0.0 && config.cpu_compute_threads > 0) {
+      const std::size_t threads = config.cpu_compute_threads;
+      const double rank_scale =
+          config.rank_reduce ? config.rank_fraction : 1.0;
+      const auto predicted_bound = [&](std::size_t nc) {
+        const double cpu_s =
+            nc == 0 ? 0.0
+                    : cpu_batch_time(config.node.cpu, workload.shape, nc,
+                                     threads, rank_scale)
+                          .sec();
+        return std::max(cpu_s,
+                        gpu_per_item_s * static_cast<double>(count - nc));
+      };
+      std::size_t best = ncpu;
+      const std::size_t down = ncpu - (ncpu % threads);
+      for (const std::size_t cand : {down, down + threads}) {
+        if (cand <= count && predicted_bound(cand) < predicted_bound(best)) {
+          best = cand;
+        }
+      }
+      ncpu = best;
+    }
     const std::size_t ngpu = count - ncpu;
     const SimTime cpu_part =
         cpu_batch_time(config.node.cpu, workload.shape, ncpu,
@@ -167,19 +239,38 @@ SimTime hybrid_node_time(const Workload& workload, std::size_t tasks,
                        config.rank_reduce ? config.rank_fraction : 1.0);
     const SimTime cpu_done = t + cpu_part;
     if (breakdown != nullptr) breakdown->cpu_compute += cpu_part;
+    // Both sides of the batch share one task id and chain causally to the
+    // previous batch's last span (the barrier at t).
+    const std::uint64_t task = obs::mint_span_id();
+    std::uint64_t cpu_id = 0;
     if (ncpu > 0) {
-      tracer.span("cpu-compute", obs::Category::kCpuCompute, t, cpu_done);
+      cpu_id = tracer.span("cpu-compute", obs::Category::kCpuCompute, t,
+                           cpu_done, {prev_last, task},
+                           {{"items", static_cast<double>(count)},
+                            {"ncpu", static_cast<double>(ncpu)}});
     }
     SimTime gpu_done = t;
+    std::uint64_t gpu_last = 0;
     if (ngpu > 0) {
       const auto batch = make_batch(workload, ngpu, remaining_new);
+      device.set_trace_link({prev_last, task});
       const auto timing = gpu::run_apply_batch(device, nullptr, batch, gcfg, t);
-      record_batch(breakdown, tracer, timing);
+      gpu_last = record_batch(breakdown, tracer, timing, {prev_last, task});
       gpu_done = timing.total_done;
     }
     t = max(cpu_done, gpu_done);
+    // The next batch chains to whichever side finished last; the earlier
+    // side joins that barrier through an explicit edge (a single parent
+    // field cannot express the two-into-one join).
+    const std::uint64_t late = cpu_done >= gpu_done ? cpu_id : gpu_last;
+    const std::uint64_t early = cpu_done >= gpu_done ? gpu_last : cpu_id;
+    if (tracer.session != nullptr && late != 0 && early != 0) {
+      tracer.session->add_edge(early, late);
+    }
+    prev_last = late != 0 ? late : early;
     left -= count;
   }
+  if (last_span != nullptr) *last_span = prev_last;
   return t;
 }
 
@@ -187,23 +278,26 @@ SimTime hybrid_node_time(const Workload& workload, std::size_t tasks,
 
 SimTime node_run_time(const Workload& workload, std::size_t tasks,
                       const ClusterConfig& config, NodeBreakdown* breakdown,
-                      const std::string& node_track) {
+                      const std::string& node_track,
+                      std::uint64_t* last_span) {
+  if (last_span != nullptr) *last_span = 0;
   if (tasks == 0) return SimTime::zero();
   const NodeTracer tracer = make_tracer(config, node_track);
   switch (config.mode) {
     case ComputeMode::kCpuOnly: {
       const SimTime t = cpu_only_node_time(workload, tasks, config);
       if (breakdown != nullptr) breakdown->cpu_compute += t;
-      tracer.span("cpu-compute", obs::Category::kCpuCompute, SimTime::zero(),
-                  t);
+      const std::uint64_t id = tracer.span(
+          "cpu-compute", obs::Category::kCpuCompute, SimTime::zero(), t);
+      if (last_span != nullptr) *last_span = id;
       return t;
     }
     case ComputeMode::kGpuOnly:
       return gpu_only_node_time(workload, tasks, config, breakdown, tracer,
-                                node_track);
+                                node_track, last_span);
     case ComputeMode::kHybrid:
       return hybrid_node_time(workload, tasks, config, breakdown, tracer,
-                              node_track);
+                              node_track, last_span);
   }
   MH_CHECK(false, "unknown compute mode");
   return SimTime::zero();
@@ -233,9 +327,16 @@ ClusterResult run_cluster_apply(const Workload& workload,
   for (std::size_t nodei = 0; nodei < loads.size(); ++nodei) {
     const std::size_t tasks = loads[nodei];
     const std::string node_track = "node" + std::to_string(nodei);
+    // Per-rank sessions, when provided, give every node its own
+    // TraceSession (merged later with write_merged_chrome_trace).
+    ClusterConfig node_config = config;
+    if (!config.node_traces.empty()) {
+      node_config.trace = config.node_traces[nodei % config.node_traces.size()];
+    }
     NodeBreakdown breakdown;
-    const SimTime compute =
-        node_run_time(workload, tasks, config, &breakdown, node_track);
+    std::uint64_t last_span = 0;
+    const SimTime compute = node_run_time(workload, tasks, node_config,
+                                          &breakdown, node_track, &last_span);
     // Remote accumulations: latency-dominated small messages, overlapped
     // poorly with the tail of the computation (conservatively additive).
     const double msgs =
@@ -243,8 +344,9 @@ ClusterResult run_cluster_apply(const Workload& workload,
     const SimTime comm =
         SimTime::seconds(msgs * (config.message_latency.sec() +
                                  msg_bytes / config.interconnect_bandwidth));
-    make_tracer(config, node_track)
-        .span("comm", obs::Category::kComm, compute, compute + comm);
+    make_tracer(node_config, node_track)
+        .span("comm", obs::Category::kComm, compute, compute + comm,
+              {last_span, 0});
     const SimTime total = compute + comm;
     result.node_times.push_back(total);
     if (total > result.makespan) {

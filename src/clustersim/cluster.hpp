@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,12 @@ struct ClusterConfig {
   /// stream tracks. nullptr falls back to obs::TraceSession::current()
   /// (still off if that is null too). Non-owning.
   obs::TraceSession* trace = nullptr;
+
+  /// Per-rank sessions: when non-empty, node i records into
+  /// node_traces[i % size()] instead of `trace` — one TraceSession per
+  /// simulated rank, stitched afterwards with
+  /// obs::write_merged_chrome_trace. Non-owning.
+  std::vector<obs::TraceSession*> node_traces;
 };
 
 /// Where one node's wall time went (aggregated over its batches).
@@ -91,10 +98,13 @@ ClusterResult run_cluster_apply(const Workload& workload,
 /// Time of one node processing `tasks` tasks under `config` (exposed for
 /// single-node benches: Tables I and II). `breakdown`, when non-null,
 /// receives the phase profile. `node_track` names the node's trace tracks
-/// when a trace session is attached.
+/// when a trace session is attached. `last_span`, when non-null, receives
+/// the id of the node's final causal span (0 if untraced) so follow-up
+/// spans — the comm tail in run_cluster_apply — can chain to it.
 SimTime node_run_time(const Workload& workload, std::size_t tasks,
                       const ClusterConfig& config,
                       NodeBreakdown* breakdown = nullptr,
-                      const std::string& node_track = "node0");
+                      const std::string& node_track = "node0",
+                      std::uint64_t* last_span = nullptr);
 
 }  // namespace mh::cluster

@@ -95,11 +95,12 @@ SimTime GpuDevice::enqueue_transfer(std::size_t stream, double bytes,
   transfers_counter().inc();
   bytes_counter(to_device).inc(bytes);
   if (trace_ != nullptr) {
-    trace_->record_sim(copy_track_, to_device ? "h2d" : "d2h",
-                       obs::Category::kTransfer, start, done,
-                       {{"bytes", bytes},
-                        {"pinned", pinned ? 1.0 : 0.0},
-                        {"stream", static_cast<double>(stream)}});
+    trace_->record_sim_linked(copy_track_, to_device ? "h2d" : "d2h",
+                              obs::Category::kTransfer, start, done,
+                              trace_link_,
+                              {{"bytes", bytes},
+                               {"pinned", pinned ? 1.0 : 0.0},
+                               {"stream", static_cast<double>(stream)}});
   }
   return done;
 }
@@ -141,9 +142,10 @@ SimTime GpuDevice::enqueue_kernel(std::size_t stream, std::size_t sms,
   kernels_counter().inc();
   stats_.sm_busy_seconds += static_cast<double>(sms) * duration.sec();
   if (trace_ != nullptr) {
-    trace_->record_sim(stream_tracks_[stream], "kernel",
-                       obs::Category::kGpuKernel, start, done,
-                       {{"sms", static_cast<double>(sms)}});
+    trace_->record_sim_linked(stream_tracks_[stream], "kernel",
+                              obs::Category::kGpuKernel, start, done,
+                              trace_link_,
+                              {{"sms", static_cast<double>(sms)}});
   }
   return done;
 }
@@ -153,8 +155,9 @@ SimTime GpuDevice::page_lock(SimTime ready) {
   page_locks_counter().inc();
   const SimTime done = ready + spec_.page_lock_cost;
   if (trace_ != nullptr) {
-    trace_->record_sim(host_track_, "page-lock", obs::Category::kPageLock,
-                       ready, done);
+    trace_->record_sim_linked(host_track_, "page-lock",
+                              obs::Category::kPageLock, ready, done,
+                              trace_link_);
   }
   return done;
 }
@@ -163,8 +166,9 @@ SimTime GpuDevice::page_unlock(SimTime ready) {
   ++stats_.page_unlocks;
   const SimTime done = ready + spec_.page_unlock_cost;
   if (trace_ != nullptr) {
-    trace_->record_sim(host_track_, "page-unlock", obs::Category::kPageLock,
-                       ready, done);
+    trace_->record_sim_linked(host_track_, "page-unlock",
+                              obs::Category::kPageLock, ready, done,
+                              trace_link_);
   }
   return done;
 }

@@ -107,6 +107,13 @@ class GpuDevice {
   /// and "<prefix>host" tracks. Pass nullptr to detach.
   void set_trace(obs::TraceSession* session, const std::string& prefix = {});
 
+  /// Causal link stamped on subsequently recorded device spans: the batch
+  /// task currently driving the device (set per batch by the cluster
+  /// simulator / dispatcher). Reset with set_trace_link({}).
+  void set_trace_link(obs::TraceSession::SimLink link) noexcept {
+    trace_link_ = link;
+  }
+
   /// Attach a fault injector: kernel launches and transfers consult it and
   /// throw typed fault::FaultError on injected faults. nullptr (the
   /// default) disables injection for this device.
@@ -124,6 +131,7 @@ class GpuDevice {
   fault::FaultInjector* faults_ = nullptr;
 
   obs::TraceSession* trace_ = nullptr;
+  obs::TraceSession::SimLink trace_link_;
   std::vector<std::uint32_t> stream_tracks_;
   std::uint32_t copy_track_ = 0;
   std::uint32_t host_track_ = 0;

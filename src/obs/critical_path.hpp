@@ -1,0 +1,114 @@
+// Critical-path and overlap-model analysis over a trace read back from disk
+// (obs/trace_reader.hpp).
+//
+// The analyzer rebuilds the causal task DAG from a Chrome trace written by
+// this repo's exporter — parent links and explicit flow edges between span
+// ids, plus resource (same-track) ordering — and answers the questions the
+// raw timeline cannot:
+//
+//   - critical path: walking backward from the span that ends last, which
+//     chain of spans and queue-wait gaps explains the makespan? The walk
+//     attributes every microsecond of [origin, makespan] either to a span's
+//     phase category or to "wait", so the attribution telescopes to the
+//     measured makespan exactly.
+//   - overlap model (the paper's hybrid-dispatch math): per hybrid batch,
+//     compare the measured batch makespan against max(m_frac, n_frac) and
+//     the ideal m·n/(m+n), where m / n are the full-batch CPU-only /
+//     GPU-only times taken from the probe span the cluster simulator emits
+//     (falling back to scaling the measured sides). The summary scalars —
+//     overlap efficiency (ideal / measured) and split residual (live k −
+//     k*) — are what bench_breakdown / bench_weak_scaling gate in CI.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace mh::obs {
+
+/// Time attributed per phase along the critical path. `category_us` indexes
+/// by Category; `wait_us` holds the gaps (queue wait / dependency stalls)
+/// between consecutive critical spans. total_us() telescopes to the
+/// analyzed makespan by construction.
+struct Attribution {
+  std::array<double, kCategoryCount> category_us{};
+  double wait_us = 0.0;
+
+  double operator[](Category cat) const noexcept {
+    return category_us[static_cast<std::size_t>(cat)];
+  }
+  double total_us() const noexcept {
+    double t = wait_us;
+    for (const double us : category_us) t += us;
+    return t;
+  }
+};
+
+/// One step of the critical path (latest first, as walked).
+struct CriticalStep {
+  std::size_t span_index = 0;  ///< into the analyzed ReadTrace::spans
+  double portion_us = 0.0;     ///< slice of the span on the critical path
+};
+
+/// Per-batch overlap-model comparison (hybrid batches only).
+struct BatchOverlap {
+  std::uint64_t task = 0;    ///< batch task id (mh_task)
+  double items = 0.0;        ///< batch size
+  double ncpu = 0.0;         ///< items sent to the CPU side
+  double measured_us = 0.0;  ///< measured batch makespan (full extent)
+  double overlap_us = 0.0;   ///< compute-window extent: CPU compute in
+                             ///< parallel with the GPU transfer+kernel
+                             ///< chain, excluding the serial pre/dispatch/
+                             ///< post phases the model's m and n omit
+  double cpu_us = 0.0;       ///< CPU-side span time
+  double gpu_us = 0.0;       ///< GPU-chain extent
+  double m_us = 0.0;         ///< full-batch CPU-only time (model's m)
+  double n_us = 0.0;         ///< full-batch GPU-only time (model's n)
+  double bound_us = 0.0;     ///< max(m_frac, n_frac) for the live split
+  double ideal_us = 0.0;     ///< m·n/(m+n)
+  double split = 0.0;        ///< live CPU fraction k = ncpu/items
+  double kstar = 0.0;        ///< optimal fraction k* = n/(m+n)
+  double efficiency = 0.0;   ///< ideal_us / overlap_us
+};
+
+/// Max finish time per track — straggler ranking for merged cluster runs.
+struct TrackFinish {
+  std::string name;  ///< "<process> / <thread>" qualified track name
+  double finish_us = 0.0;
+  double busy_us = 0.0;  ///< summed span time on the track
+};
+
+struct TraceAnalysis {
+  bool sim_domain = false;  ///< analyzed the simulated-time pids (else wall)
+  double origin_us = 0.0;
+  double end_us = 0.0;
+  double makespan_us() const noexcept { return end_us - origin_us; }
+
+  Attribution critical;             ///< sums to makespan_us()
+  std::vector<CriticalStep> path;   ///< latest step first
+  std::vector<BatchOverlap> batches;
+  std::vector<TrackFinish> stragglers;  ///< slowest track first
+
+  std::size_t connected_components = 0;  ///< of the causal DAG (ids+task)
+  std::size_t causal_spans = 0;          ///< spans carrying an mh_id
+
+  // Aggregates over hybrid batches (item-weighted); 0 when none were found.
+  double overlap_efficiency = 0.0;
+  double split_residual = 0.0;       ///< mean signed (k - k*)
+  double split_residual_abs = 0.0;   ///< mean |k - k*|
+};
+
+/// Analyze a trace: prefers the simulated-time clock domain when present
+/// (deterministic), otherwise the wall domain.
+TraceAnalysis analyze_trace(const ReadTrace& trace);
+
+/// Human-readable report (the mh_trace_analyze CLI output).
+void write_analysis(std::ostream& os, const ReadTrace& trace,
+                    const TraceAnalysis& a);
+
+}  // namespace mh::obs

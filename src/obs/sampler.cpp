@@ -47,6 +47,11 @@ void Sampler::stop() {
   }
   cv_.notify_all();
   worker.join();
+  // One final probe pass after the thread drains: metrics sampled between
+  // the last periodic tick and stop() would otherwise never be exported —
+  // a short-lived run (shorter than one period) would publish nothing.
+  std::scoped_lock lock(mu_);
+  tick();
 }
 
 bool Sampler::running() const {

@@ -52,7 +52,10 @@ class Sampler {
 
   /// Start the background thread (idempotent).
   void start();
-  /// Stop and join the background thread (idempotent; runs no final tick).
+  /// Stop and join the background thread (idempotent). After the join,
+  /// runs one final probe pass on the calling thread so state that changed
+  /// since the last periodic tick is still exported — without it a run
+  /// shorter than one period would publish nothing at all.
   void stop();
   bool running() const;
 

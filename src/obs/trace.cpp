@@ -12,7 +12,12 @@ namespace {
 std::atomic<std::uint64_t> g_next_session_id{1};
 std::atomic<TraceSession*> g_current{nullptr};
 
+// One process-global id counter for spans *and* tasks: ids stay unique even
+// when several per-rank sessions are merged into one trace file.
+std::atomic<std::uint64_t> g_next_span_id{1};
+
 thread_local std::string t_thread_label;
+thread_local TraceContext t_ctx;
 
 // Per-thread cache of (session id -> buffer) so the record() fast path never
 // touches the session registry. Stale entries for destroyed sessions are
@@ -55,7 +60,27 @@ void json_number(std::ostream& os, double v) {
   os << buf;
 }
 
+// Subsystem a track belongs to, derived from its name. Emitted as the
+// second component of the Chrome "cat" field so Perfetto can filter by
+// layer (engine vs pool vs gpu vs world) on top of the phase category.
+const char* track_subsystem(std::string_view track) {
+  if (track.starts_with("cpu-pool") || track.starts_with("gpu-driver") ||
+      track.starts_with("batch-dispatcher")) {
+    return "engine";
+  }
+  if (track.starts_with("rank")) return "world";
+  if (track.find("gpu") != std::string_view::npos) return "gpu";
+  if (track.starts_with("node")) return "cluster";
+  return "pool";
+}
+
 }  // namespace
+
+TraceContext current_context() noexcept { return t_ctx; }
+
+std::uint64_t mint_span_id() noexcept {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
 
 const char* category_name(Category cat) noexcept {
   switch (cat) {
@@ -194,6 +219,41 @@ void TraceSession::record_sim(std::uint32_t track_id, const char* name,
   record(span);
 }
 
+std::uint64_t TraceSession::record_sim_linked(
+    std::uint32_t track_id, const char* name, Category cat, SimTime start,
+    SimTime end, SimLink link, std::initializer_list<SpanArg> args) {
+  if (end < start) return 0;
+  Span span;
+  span.name = name;
+  span.cat = cat;
+  span.domain = ClockDomain::kSim;
+  span.track = track_id;
+  span.start_us = start.us();
+  span.dur_us = (end - start).us();
+  span.id = mint_span_id();
+  span.parent = link.parent;
+  span.task = link.task != 0 ? link.task : span.id;
+  std::size_t i = 0;
+  for (const SpanArg& a : args) {
+    if (i == span.args.size()) break;
+    span.args[i++] = a;
+  }
+  record(span);
+  return span.id;
+}
+
+void TraceSession::add_edge(std::uint64_t from, std::uint64_t to) {
+  if (from == 0 || to == 0 || from == to) return;
+  std::scoped_lock lock(edges_mu_);
+  edges_.emplace_back(from, to);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> TraceSession::edges()
+    const {
+  std::scoped_lock lock(edges_mu_);
+  return edges_;
+}
+
 void TraceSession::counter_add(std::string_view name, double delta) {
   std::scoped_lock lock(metrics_mu_);
   auto it = counters_.find(name);
@@ -288,7 +348,15 @@ std::size_t TraceSession::span_count() const {
 }
 
 void TraceSession::write_chrome_trace(std::ostream& os) const {
-  std::scoped_lock lock(mu_);
+  // A single session is the one-rank case of the merged exporter: rank 0
+  // keeps the historical pids 1 (wall) / 2 (sim) and unqualified process
+  // names.
+  write_merged_chrome_trace(os,
+                            std::vector<RankedSession>{{std::string(), this}});
+}
+
+void write_merged_chrome_trace(std::ostream& os,
+                               const std::vector<RankedSession>& ranks) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto sep = [&] {
@@ -297,75 +365,156 @@ void TraceSession::write_chrome_trace(std::ostream& os) const {
     os << "\n";
   };
 
-  // Two clock domains as two Chrome "processes" so timelines never mix.
-  auto pid_of = [](ClockDomain d) {
-    return d == ClockDomain::kWall ? 1 : 2;
+  // Where each causal span id landed in the output, across *all* sessions —
+  // flow arrows resolve against this, so producer->consumer edges survive
+  // rank hops.
+  struct FlowPoint {
+    int pid = 0;
+    std::uint32_t tid = 0;
+    double start_us = 0.0;
+    double end_us = 0.0;
   };
-  sep();
-  os << R"({"ph":"M","pid":1,"name":"process_name","args":{"name":"wall-clock"}})";
-  sep();
-  os << R"({"ph":"M","pid":2,"name":"process_name","args":{"name":"simulated-time"}})";
-  for (const TrackInfo& t : tracks_) {
+  std::map<std::uint64_t, FlowPoint> points;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> flow_edges;
+
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    const TraceSession* session = ranks[r].session;
+    if (session == nullptr) continue;
+    // Rank r owns two Chrome "processes": its two clock domains never mix.
+    const int wall_pid = static_cast<int>(2 * r + 1);
+    const int sim_pid = static_cast<int>(2 * r + 2);
+    auto pid_of = [&](ClockDomain d) {
+      return d == ClockDomain::kWall ? wall_pid : sim_pid;
+    };
+    const std::string& label = ranks[r].label;
+
+    std::scoped_lock lock(session->mu_);
     sep();
-    os << "{\"ph\":\"M\",\"pid\":" << pid_of(t.domain) << ",\"tid\":" << t.id
-       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
-    json_escape(os, t.name);
+    os << "{\"ph\":\"M\",\"pid\":" << wall_pid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"";
+    json_escape(os, label.empty() ? "wall-clock" : label + " wall-clock");
     os << "\"}}";
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << sim_pid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"";
+    json_escape(os,
+                label.empty() ? "simulated-time" : label + " simulated-time");
+    os << "\"}}";
+
+    std::vector<const char*> subsystem(session->tracks_.size(), "pool");
+    for (const TrackInfo& t : session->tracks_) {
+      subsystem[t.id] = track_subsystem(t.name);
+      sep();
+      os << "{\"ph\":\"M\",\"pid\":" << pid_of(t.domain) << ",\"tid\":" << t.id
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      json_escape(os, t.name);
+      os << "\"}}";
+    }
+
+    double max_ts = 0.0;
+    session->for_each_span([&](const Span& s) {
+      sep();
+      os << "{\"ph\":\"X\",\"pid\":" << pid_of(s.domain)
+         << ",\"tid\":" << s.track << ",\"ts\":";
+      json_number(os, s.start_us);
+      os << ",\"dur\":";
+      json_number(os, std::max(s.dur_us, 0.0));
+      os << ",\"name\":\"";
+      json_escape(os, s.name != nullptr ? s.name : "span");
+      os << "\",\"cat\":\"" << category_name(s.cat) << ","
+         << (s.track < subsystem.size() ? subsystem[s.track] : "pool") << "\"";
+      bool has_args = false;
+      auto arg = [&](const char* key, auto value) {
+        os << (has_args ? "," : ",\"args\":{") << "\"";
+        json_escape(os, key);
+        os << "\":" << value;
+        has_args = true;
+      };
+      for (const SpanArg& a : s.args) {
+        if (a.key == nullptr) continue;
+        os << (has_args ? "," : ",\"args\":{") << "\"";
+        json_escape(os, a.key);
+        os << "\":";
+        json_number(os, a.value);
+        has_args = true;
+      }
+      // Causal identity rides along as numeric args so the DAG survives the
+      // file format (obs/trace_reader.hpp rebuilds it from these).
+      if (s.id != 0) {
+        arg("mh_id", s.id);
+        if (s.parent != 0) arg("mh_parent", s.parent);
+        if (s.task != 0) arg("mh_task", s.task);
+        points[s.id] = {pid_of(s.domain), s.track, s.start_us, s.end_us()};
+        if (s.parent != 0) flow_edges.emplace_back(s.parent, s.id);
+      }
+      if (has_args) os << "}";
+      os << "}";
+      max_ts = std::max(max_ts, s.start_us + s.dur_us);
+    });
+
+    {
+      std::scoped_lock metrics_lock(session->metrics_mu_);
+      for (const auto& [name, value] : session->counters_) {
+        sep();
+        os << "{\"ph\":\"C\",\"pid\":" << wall_pid << ",\"tid\":0,\"ts\":";
+        json_number(os, max_ts);
+        os << ",\"name\":\"";
+        json_escape(os, name);
+        os << "\",\"args\":{\"value\":";
+        json_number(os, value);
+        os << "}}";
+      }
+      for (const auto& [name, h] : session->hists_) {
+        sep();
+        os << "{\"ph\":\"i\",\"pid\":" << wall_pid
+           << ",\"tid\":0,\"s\":\"g\",\"ts\":";
+        json_number(os, max_ts);
+        os << ",\"name\":\"";
+        json_escape(os, name);
+        os << "\",\"args\":{\"count\":" << h.count << ",\"sum\":";
+        json_number(os, h.sum);
+        os << ",\"min\":";
+        json_number(os, h.min);
+        os << ",\"max\":";
+        json_number(os, h.max);
+        os << "}}";
+      }
+    }
+    for (const auto& e : session->edges()) flow_edges.push_back(e);
   }
 
-  double max_ts = 0.0;
-  for_each_span([&](const Span& s) {
+  // Parent links and explicit add_edge() joins as Chrome flow events. Each
+  // edge gets its own flow id minted here at export time, so every "s" has
+  // exactly one matching "f"; both carry the span ids as args for readers.
+  std::uint64_t flow_id = 0;
+  for (const auto& [from, to] : flow_edges) {
+    const auto pf = points.find(from);
+    const auto pt = points.find(to);
+    if (pf == points.end() || pt == points.end()) continue;
+    ++flow_id;
     sep();
-    os << "{\"ph\":\"X\",\"pid\":" << pid_of(s.domain)
-       << ",\"tid\":" << s.track << ",\"ts\":";
-    json_number(os, s.start_us);
-    os << ",\"dur\":";
-    json_number(os, std::max(s.dur_us, 0.0));
-    os << ",\"name\":\"";
-    json_escape(os, s.name != nullptr ? s.name : "span");
-    os << "\",\"cat\":\"" << category_name(s.cat) << "\"";
-    bool has_args = false;
-    for (const SpanArg& a : s.args) {
-      if (a.key == nullptr) continue;
-      os << (has_args ? "," : ",\"args\":{") << "\"";
-      json_escape(os, a.key);
-      os << "\":";
-      json_number(os, a.value);
-      has_args = true;
-    }
-    if (has_args) os << "}";
-    os << "}";
-    max_ts = std::max(max_ts, s.start_us + s.dur_us);
-  });
-
-  {
-    std::scoped_lock metrics_lock(metrics_mu_);
-    for (const auto& [name, value] : counters_) {
-      sep();
-      os << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":";
-      json_number(os, max_ts);
-      os << ",\"name\":\"";
-      json_escape(os, name);
-      os << "\",\"args\":{\"value\":";
-      json_number(os, value);
-      os << "}}";
-    }
-    for (const auto& [name, h] : hists_) {
-      sep();
-      os << "{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"g\",\"ts\":";
-      json_number(os, max_ts);
-      os << ",\"name\":\"";
-      json_escape(os, name);
-      os << "\",\"args\":{\"count\":" << h.count << ",\"sum\":";
-      json_number(os, h.sum);
-      os << ",\"min\":";
-      json_number(os, h.min);
-      os << ",\"max\":";
-      json_number(os, h.max);
-      os << "}}";
-    }
+    os << "{\"ph\":\"s\",\"id\":" << flow_id << ",\"pid\":" << pf->second.pid
+       << ",\"tid\":" << pf->second.tid << ",\"ts\":";
+    json_number(os, pf->second.end_us);
+    os << ",\"name\":\"dep\",\"cat\":\"mh_flow\",\"args\":{\"mh_from\":"
+       << from << ",\"mh_to\":" << to << "}}";
+    sep();
+    os << "{\"ph\":\"f\",\"bp\":\"e\",\"id\":" << flow_id
+       << ",\"pid\":" << pt->second.pid << ",\"tid\":" << pt->second.tid
+       << ",\"ts\":";
+    json_number(os, pt->second.start_us);
+    os << ",\"name\":\"dep\",\"cat\":\"mh_flow\",\"args\":{\"mh_from\":"
+       << from << ",\"mh_to\":" << to << "}}";
   }
   os << "\n]}\n";
+}
+
+bool write_merged_chrome_trace_file(const std::string& path,
+                                    const std::vector<RankedSession>& ranks) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_merged_chrome_trace(os, ranks);
+  return os.good();
 }
 
 bool TraceSession::write_chrome_trace_file(const std::string& path) const {
@@ -390,11 +539,20 @@ ScopedSpan::ScopedSpan(TraceSession* session, const char* name, Category cat,
     if (i == span_.args.size()) break;
     span_.args[i++] = a;
   }
+  // Causal identity: adopt the ambient context as {task, parent} (a root
+  // span starts a new task under its own id) and install ourselves for the
+  // scope so nested spans chain automatically.
+  span_.id = mint_span_id();
+  span_.parent = t_ctx.span;
+  span_.task = t_ctx.task != 0 ? t_ctx.task : span_.id;
+  saved_ = t_ctx;
+  t_ctx = {span_.task, span_.id};
   span_.start_us = session_->now_us();
 }
 
 ScopedSpan::~ScopedSpan() {
   if (session_ == nullptr) return;
+  t_ctx = saved_;
   span_.dur_us = session_->now_us() - span_.start_us;
   session_->record(span_);
 }
@@ -408,5 +566,11 @@ void ScopedSpan::arg(const char* key, double value) noexcept {
     }
   }
 }
+
+ScopedContext::ScopedContext(TraceContext ctx) noexcept : saved_(t_ctx) {
+  t_ctx = ctx;
+}
+
+ScopedContext::~ScopedContext() { t_ctx = saved_; }
 
 }  // namespace mh::obs

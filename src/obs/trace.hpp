@@ -19,6 +19,18 @@
 // Counters and log-bucketed histograms ride along for scalar metrics.
 // Aggregation (category_totals) is what bench_breakdown's phase profile is
 // built from.
+//
+// Causal tracing: every span can carry a process-unique id, the id of the
+// span that causally produced it (`parent`), and a stable task id shared by
+// every span of one logical task as it hops threads, batches, and ranks.
+// A thread-local TraceContext propagates {task, last span} implicitly:
+// ScopedSpan picks its parent/task from the ambient context and installs
+// itself for its scope, and ScopedContext re-installs a captured context on
+// a foreign thread (the receive side of a queue hop or a World message).
+// Extra many-to-one joins (items -> batch) are recorded with add_edge().
+// The exporter turns parent links and edges into Chrome trace_event flow
+// events (ph:"s"/"f"), so Perfetto draws the producer->consumer arrows and
+// obs/critical_path.hpp can rebuild the task DAG from the file alone.
 #pragma once
 
 #include <array>
@@ -75,8 +87,32 @@ struct Span {
   std::uint32_t track = 0;
   double start_us = 0.0;
   double dur_us = 0.0;
+  /// Causal identity: process-unique span id (0 = unlinked), the id of the
+  /// causally-preceding span (0 = root), and the stable task id shared by
+  /// the whole preprocess->compute->postprocess chain (0 = none).
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t task = 0;
   std::array<SpanArg, 6> args{};
+
+  double end_us() const noexcept { return start_us + dur_us; }
 };
+
+/// The causal coordinates a task carries across thread/batch/rank hops:
+/// its stable task id plus the most recent span of its chain. Copyable and
+/// cheap; an empty context (task == 0) means "no provenance".
+struct TraceContext {
+  std::uint64_t task = 0;
+  std::uint64_t span = 0;
+  explicit operator bool() const noexcept { return task != 0; }
+};
+
+/// The calling thread's ambient context (set by ScopedSpan/ScopedContext).
+TraceContext current_context() noexcept;
+
+/// Mint a fresh process-unique span/task id (shared counter across all
+/// sessions, so merged multi-rank traces never collide).
+std::uint64_t mint_span_id() noexcept;
 
 /// Summary of a log-bucketed histogram.
 struct HistSummary {
@@ -104,6 +140,8 @@ struct CategoryTotals {
   }
 };
 
+struct RankedSession;
+
 class TraceSession {
  public:
   TraceSession();
@@ -130,6 +168,26 @@ class TraceSession {
                   SimTime start, SimTime end,
                   std::initializer_list<SpanArg> args = {});
 
+  /// Causal link for a simulated-time span (see record_sim_linked).
+  struct SimLink {
+    std::uint64_t parent = 0;  ///< id of the causally-preceding span
+    std::uint64_t task = 0;    ///< stable task/batch id
+  };
+
+  /// record_sim with causal identity: mints a span id, links it to
+  /// `link.parent`, tags it with `link.task`, and returns the new id so the
+  /// caller can chain the next span. Returns 0 for degenerate spans.
+  std::uint64_t record_sim_linked(std::uint32_t track_id, const char* name,
+                                  Category cat, SimTime start, SimTime end,
+                                  SimLink link,
+                                  std::initializer_list<SpanArg> args = {});
+
+  /// Record an extra causal edge `from` -> `to` (span ids) for joins a
+  /// single parent link cannot express, e.g. every item of a batch feeding
+  /// the batch span. Exported as a flow event alongside parent links.
+  void add_edge(std::uint64_t from, std::uint64_t to);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges() const;
+
   // --- scalar metrics -----------------------------------------------------
   void counter_add(std::string_view name, double delta);
   double counter(std::string_view name) const;
@@ -148,7 +206,9 @@ class TraceSession {
   std::size_t span_count() const;
 
   /// Chrome trace_event JSON (chrome://tracing, Perfetto). Wall-clock
-  /// tracks under pid 1, simulated-time tracks under pid 2.
+  /// tracks under pid 1, simulated-time tracks under pid 2. Spans with
+  /// causal identity additionally carry mh_id/mh_parent/mh_task args and
+  /// ph:"s"/"f" flow events, so the causal DAG survives the file format.
   void write_chrome_trace(std::ostream& os) const;
   /// Write to `path`; returns false (and stays silent) on I/O failure.
   bool write_chrome_trace_file(const std::string& path) const;
@@ -181,7 +241,29 @@ class TraceSession {
     std::array<std::uint64_t, 64> buckets{};
   };
   std::map<std::string, Hist, std::less<>> hists_;
+
+  mutable std::mutex edges_mu_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges_;
+
+  friend void write_merged_chrome_trace(
+      std::ostream& os, const std::vector<RankedSession>& ranks);
 };
+
+/// One per-rank session for merged export: `label` names the rank's two
+/// Chrome processes ("<label> wall-clock" / "<label> simulated-time").
+struct RankedSession {
+  std::string label;
+  const TraceSession* session = nullptr;
+};
+
+/// Stitch per-rank sessions into one Chrome/Perfetto trace with
+/// rank-qualified pids (rank r: wall pid 2r+1, sim pid 2r+2). Cross-rank
+/// parent links resolve against every session, so producer->consumer flow
+/// arrows survive rank hops.
+void write_merged_chrome_trace(std::ostream& os,
+                               const std::vector<RankedSession>& ranks);
+bool write_merged_chrome_trace_file(const std::string& path,
+                                    const std::vector<RankedSession>& ranks);
 
 /// Label the calling thread for trace tracks (e.g. "cpu-pool/3"); applies
 /// to tracks auto-registered after the call.
@@ -189,6 +271,13 @@ void set_thread_label(std::string label);
 
 /// RAII wall-clock span on the calling thread's track. A null session makes
 /// every operation a no-op, so call sites need no `if (trace)` guards.
+///
+/// Causal behavior: the span mints a process-unique id, adopts the ambient
+/// TraceContext as {task, parent} (a root span with no ambient context
+/// starts a new task under its own id), and installs {task, id} as the
+/// ambient context for its scope — so nested spans and anything launched
+/// synchronously inside chain automatically. The previous context is
+/// restored on destruction.
 class ScopedSpan {
  public:
   ScopedSpan(TraceSession* session, const char* name, Category cat,
@@ -201,9 +290,31 @@ class ScopedSpan {
   /// Attach/overwrite an arg after construction (first free slot).
   void arg(const char* key, double value) noexcept;
 
+  /// This span's minted id (0 on a null session).
+  std::uint64_t id() const noexcept { return span_.id; }
+  /// Context {task, this span} — what a consumer should inherit.
+  TraceContext context() const noexcept { return {span_.task, span_.id}; }
+
  private:
   TraceSession* session_;
   Span span_;
+  TraceContext saved_;
+};
+
+/// Re-install a captured TraceContext on the current thread (the receive
+/// side of a queue/message hop); restores the previous context on
+/// destruction. An empty context installs "no provenance", making spans in
+/// the scope roots — correct for tasks with no recorded producer.
+class ScopedContext {
+ public:
+  explicit ScopedContext(TraceContext ctx) noexcept;
+  ~ScopedContext();
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  TraceContext saved_;
 };
 
 }  // namespace mh::obs

@@ -261,8 +261,13 @@ class BatchingEngine {
     return hash_combine(fn_id, kind.spec.input_hash);
   }
 
-  /// Enqueue one compute input (the tail of a preprocess task).
+  /// Enqueue one compute input (the tail of a preprocess task). Mints the
+  /// item's causal trace context here — the "enqueue" span adopts the
+  /// caller's ambient context (e.g. a World task) or starts a fresh task —
+  /// and carries it through batch membership, compute, and postprocess.
   void submit(KindId id, Input input) {
+    obs::ScopedSpan span(trace_, "enqueue", obs::Category::kPreprocess,
+                         {{"kind", static_cast<double>(id)}});
     bool notify = false;
     {
       std::scoped_lock lock(mu_);
@@ -272,6 +277,7 @@ class BatchingEngine {
         kind.oldest_pending = std::chrono::steady_clock::now();
       }
       kind.pending.push_back(std::move(input));
+      kind.pending_ctx.push_back(span.context());
       ++stats_.submitted;
       if (kind.pending.size() >= config_.max_batch) {
         kind.size_trigger = true;
@@ -351,6 +357,8 @@ class BatchingEngine {
     explicit Kind(KindSpec s) : spec(std::move(s)) {}
     KindSpec spec;
     std::vector<Input> pending;
+    /// Causal context of each pending item, parallel to `pending`.
+    std::vector<obs::TraceContext> pending_ctx;
     /// When the oldest currently-pending item arrived (valid while
     /// pending is non-empty); bounds how long a partial batch can sit
     /// while other kinds' size triggers keep waking the dispatcher.
@@ -372,9 +380,20 @@ class BatchingEngine {
     Kind* kind = nullptr;
     KindId kind_id = 0;
     std::vector<Input> items;
+    std::vector<obs::TraceContext> ctxs;  ///< parallel to items
     std::size_t ncpu = 0;
     double split = 0.0;
     FlushReason reason = kTimerFlush;
+  };
+
+  /// The GPU share of a staged batch plus the causal plumbing the retry /
+  /// fallback machinery needs: each item's own context (postprocess and CPU
+  /// fallback keep the item's task id) and the batch span's context (the
+  /// gpu-batch span chains to it).
+  struct GpuWork {
+    std::vector<Input> items;
+    std::vector<obs::TraceContext> ctxs;  ///< parallel to items
+    obs::TraceContext batch_ctx;
   };
 
   bool all_pending_empty() const {
@@ -459,6 +478,8 @@ class BatchingEngine {
     staged.kind_id = id;
     staged.items = std::move(kind.pending);
     kind.pending.clear();
+    staged.ctxs = std::move(kind.pending_ctx);
+    kind.pending_ctx.clear();
     staged.reason = reason;
     ++stats_.batches;
     stats_.max_batch_seen = std::max(stats_.max_batch_seen, staged.items.size());
@@ -512,41 +533,67 @@ class BatchingEngine {
       trace_->counter_add("batching.batches", 1.0);
       trace_->hist_record("batching.batch_items",
                           static_cast<double>(staged.items.size()));
+      // Many-to-one join: every member item's enqueue span feeds this batch
+      // span (a single parent link cannot express the fan-in).
+      for (const obs::TraceContext& ctx : staged.ctxs) {
+        trace_->add_edge(ctx.span, span.id());
+      }
     }
     Kind* kptr = staged.kind;
     const std::size_t ncpu = staged.ncpu;
     const double kind_id = static_cast<double>(staged.kind_id);
+    const std::uint64_t batch_id = span.id();
 
     // GPU side: one aggregated call for the tail of the batch, wrapped in
-    // the retry/breaker machinery (run_gpu_batch).
+    // the retry/breaker machinery (run_gpu_batch). Item contexts ride along
+    // so postprocess — and CPU fallback after a failed batch — keep each
+    // item's task id.
     if (staged.items.size() > ncpu) {
-      auto gpu_items = std::make_shared<std::vector<Input>>(
+      auto work = std::make_shared<GpuWork>();
+      work->items.assign(
           std::make_move_iterator(staged.items.begin() +
                                   static_cast<std::ptrdiff_t>(ncpu)),
           std::make_move_iterator(staged.items.end()));
-      gpu_driver_.submit([this, kptr, kind_id, gpu_items] {
-        run_gpu_batch(kptr, kind_id, gpu_items);
+      work->ctxs.assign(staged.ctxs.begin() + static_cast<std::ptrdiff_t>(
+                                                  std::min(ncpu,
+                                                           staged.ctxs.size())),
+                        staged.ctxs.end());
+      work->batch_ctx = span.context();
+      gpu_driver_.submit([this, kptr, kind_id, work] {
+        obs::ScopedContext provenance(work->batch_ctx);
+        run_gpu_batch(kptr, kind_id, work);
       });
     }
 
     // CPU side: one worker task per item (they are independent MADNESS
-    // tasks; the pool spreads them over the cpu_threads workers).
+    // tasks; the pool spreads them over the cpu_threads workers). Each item
+    // keeps its own task id; its compute span chains to the batch dispatch.
     for (std::size_t i = 0; i < ncpu; ++i) {
+      obs::TraceContext ctx = i < staged.ctxs.size() ? staged.ctxs[i]
+                                                     : obs::TraceContext{};
+      if (batch_id != 0) ctx.span = batch_id;
       submit_cpu_item(kptr, kind_id,
-                      std::make_shared<Input>(std::move(staged.items[i])));
+                      std::make_shared<Input>(std::move(staged.items[i])),
+                      ctx);
     }
   }
 
   /// Compute+postprocess one item on the CPU pool — the CPU share of a
-  /// batch, and the per-item fallback path for failed GPU batches.
+  /// batch, and the per-item fallback path for failed GPU batches. `ctx`
+  /// is the item's causal context (task id + producer span), re-installed
+  /// on the worker thread so the compute span continues the item's chain.
   void submit_cpu_item(Kind* kptr, double kind_id,
-                       std::shared_ptr<Input> boxed) {
-    cpu_pool_.submit([this, kptr, kind_id, boxed] {
+                       std::shared_ptr<Input> boxed,
+                       obs::TraceContext ctx = {}) {
+    cpu_pool_.submit([this, kptr, kind_id, boxed, ctx] {
+      obs::ScopedContext provenance(ctx);
       try {
+        obs::TraceContext chain = ctx;
         Output out = [&] {
           obs::ScopedSpan cpu_span(trace_, "cpu-compute",
                                    obs::Category::kCpuCompute,
                                    {{"kind", kind_id}});
+          if (cpu_span.id() != 0) chain = cpu_span.context();
           const auto t0 = std::chrono::steady_clock::now();
           Output result = kptr->spec.compute_cpu(*boxed);
           const std::chrono::duration<double> dt =
@@ -555,6 +602,9 @@ class BatchingEngine {
           kptr->cpu_rate.record(1, dt.count());
           return result;
         }();
+        // Postprocess chains to the compute span (the compute span has
+        // already closed, so the ambient context must be re-installed).
+        obs::ScopedContext after(chain);
         obs::ScopedSpan post_span(trace_, "postprocess",
                                   obs::Category::kPostprocess,
                                   {{"kind", kind_id}});
@@ -572,13 +622,15 @@ class BatchingEngine {
   /// compute_gpu call, the per-batch deadline. Throws on any failure; on
   /// success records the rate sample and submits postprocess tasks.
   void gpu_attempt(Kind* kptr, double kind_id,
-                   const std::shared_ptr<std::vector<Input>>& gpu_items) {
+                   const std::shared_ptr<GpuWork>& work) {
     std::vector<Output> outs;
+    std::uint64_t gpu_span_id = 0;
     {
       obs::ScopedSpan gpu_span(
           trace_, "gpu-batch", obs::Category::kGpuKernel,
           {{"kind", kind_id},
-           {"items", static_cast<double>(gpu_items->size())}});
+           {"items", static_cast<double>(work->items.size())}});
+      gpu_span_id = gpu_span.id();
       if (faults_->armed()) {
         if (faults_->should_fail(fault::FaultSite::kTransferH2D)) {
           throw fault::FaultError(fault::ErrorCode::kTransferTimeout,
@@ -591,7 +643,7 @@ class BatchingEngine {
       }
       const auto t0 = std::chrono::steady_clock::now();
       outs = kptr->spec.compute_gpu(
-          std::span<const Input>{gpu_items->data(), gpu_items->size()});
+          std::span<const Input>{work->items.data(), work->items.size()});
       const auto dt = std::chrono::steady_clock::now() - t0;
       if (faults_->armed() &&
           faults_->should_fail(fault::FaultSite::kTransferD2H)) {
@@ -603,15 +655,22 @@ class BatchingEngine {
         throw fault::FaultError(fault::ErrorCode::kBatchTimeout,
                                 "GPU batch exceeded its deadline");
       }
-      MH_CHECK(outs.size() == gpu_items->size(),
+      MH_CHECK(outs.size() == work->items.size(),
                "GPU batch must return one output per input");
       const std::chrono::duration<double> secs = dt;
       std::scoped_lock lock(mu_);
-      kptr->gpu_rate.record(gpu_items->size(), secs.count());
+      kptr->gpu_rate.record(work->items.size(), secs.count());
     }
-    for (Output& out : outs) {
-      auto boxed = std::make_shared<Output>(std::move(out));
-      cpu_pool_.submit([this, kptr, kind_id, boxed] {
+    // Each item's enqueue span joined the batch already; the item's
+    // postprocess keeps its own task id but chains to the gpu-batch span
+    // that actually produced its output.
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      auto boxed = std::make_shared<Output>(std::move(outs[i]));
+      obs::TraceContext ctx = i < work->ctxs.size() ? work->ctxs[i]
+                                                    : obs::TraceContext{};
+      if (gpu_span_id != 0) ctx.span = gpu_span_id;
+      cpu_pool_.submit([this, kptr, kind_id, boxed, ctx] {
+        obs::ScopedContext provenance(ctx);
         try {
           obs::ScopedSpan post_span(trace_, "postprocess",
                                     obs::Category::kPostprocess,
@@ -630,10 +689,10 @@ class BatchingEngine {
   /// (or an open breaker) the batch falls back to the CPU side, or — for a
   /// GPU-only kind — surfaces a typed error from wait().
   void run_gpu_batch(Kind* kptr, double kind_id,
-                     const std::shared_ptr<std::vector<Input>>& gpu_items) {
+                     const std::shared_ptr<GpuWork>& work) {
     for (std::size_t attempt = 0;; ++attempt) {
       try {
-        gpu_attempt(kptr, kind_id, gpu_items);
+        gpu_attempt(kptr, kind_id, work);
         on_gpu_success();
         return;
       } catch (...) {
@@ -643,7 +702,7 @@ class BatchingEngine {
           backoff_sleep(attempt);
           continue;
         }
-        finish_failed_gpu_batch(kptr, kind_id, gpu_items, cause, attempt + 1);
+        finish_failed_gpu_batch(kptr, kind_id, work, cause, attempt + 1);
         return;
       }
     }
@@ -750,22 +809,26 @@ class BatchingEngine {
   /// fallback for hybrid kinds, a typed recorded error otherwise. Either
   /// way every item is accounted for, so wait() never hangs.
   void finish_failed_gpu_batch(
-      Kind* kptr, double kind_id,
-      const std::shared_ptr<std::vector<Input>>& gpu_items,
+      Kind* kptr, double kind_id, const std::shared_ptr<GpuWork>& work,
       const std::exception_ptr& cause, std::size_t attempts) {
     if (kptr->spec.compute_cpu) {
       {
         std::scoped_lock lock(mu_);
-        stats_.gpu_fallback_items += gpu_items->size();
+        stats_.gpu_fallback_items += work->items.size();
       }
-      m_fallback_items_.inc(static_cast<double>(gpu_items->size()));
+      m_fallback_items_.inc(static_cast<double>(work->items.size()));
       if (trace_ != nullptr) {
         trace_->counter_add("fault.cpu_fallback_items",
-                            static_cast<double>(gpu_items->size()));
+                            static_cast<double>(work->items.size()));
       }
-      for (Input& item : *gpu_items) {
+      // Fallback items keep their provenance: the compute span on the CPU
+      // side continues each item's original task chain.
+      for (std::size_t i = 0; i < work->items.size(); ++i) {
+        obs::TraceContext ctx = i < work->ctxs.size() ? work->ctxs[i]
+                                                      : obs::TraceContext{};
         submit_cpu_item(kptr, kind_id,
-                        std::make_shared<Input>(std::move(item)));
+                        std::make_shared<Input>(std::move(work->items[i])),
+                        ctx);
       }
       return;
     }
@@ -780,7 +843,7 @@ class BatchingEngine {
         fault::ErrorCode::kGpuRetriesExhausted,
         "GPU batch failed after " + std::to_string(attempts) +
             " attempt(s) with no CPU fallback: " + why)));
-    for (std::size_t i = 0; i < gpu_items->size(); ++i) complete_one();
+    for (std::size_t i = 0; i < work->items.size(); ++i) complete_one();
   }
 
   void complete_one() {

@@ -61,10 +61,15 @@ void World::enqueue(std::size_t rank, std::function<void()> fn,
   }
   // Capture the session at enqueue time so a task cannot record into a
   // session installed after it was queued (and torn down before it runs).
+  // The sender's causal context rides along in the closure — the simulated
+  // message header — so the handler's span chains to its producer even
+  // across a rank hop.
   obs::TraceSession* trace = obs::TraceSession::current();
+  const obs::TraceContext ctx = obs::current_context();
   pools_[rank]->submit(
-      [this, fn = std::move(fn), trace, span_name, cat] {
+      [this, fn = std::move(fn), trace, span_name, cat, ctx] {
         try {
+          obs::ScopedContext provenance(ctx);
           obs::ScopedSpan span(trace, span_name, cat);
           fn();
         } catch (...) {
@@ -179,12 +184,22 @@ void World::send(std::size_t from, std::size_t to, double bytes,
     }
     m_rank_messages_[to]->inc();
     m_rank_bytes_[to]->inc(bytes);
-    std::scoped_lock lock(mu_);
-    ++stats_.messages;
-    stats_.bytes += bytes;
+    {
+      std::scoped_lock lock(mu_);
+      ++stats_.messages;
+      stats_.bytes += bytes;
+    }
+    // The send span is the causal link the wire crossing hangs off: the
+    // remote handler's "am" span chains to it (enqueue captures the
+    // ambient context while this span is live).
+    obs::ScopedSpan send_span(obs::TraceSession::current(), "send",
+                              obs::Category::kComm,
+                              {{"bytes", bytes},
+                               {"to", static_cast<double>(to)}});
+    enqueue(to, std::move(handler), "am", obs::Category::kComm);
+    return;
   }
-  enqueue(to, std::move(handler), from != to ? "am" : "task",
-          from != to ? obs::Category::kComm : obs::Category::kCpuCompute);
+  enqueue(to, std::move(handler), "task", obs::Category::kCpuCompute);
 }
 
 void World::fence() {

@@ -3,13 +3,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <numeric>
+#include <sstream>
+#include <string>
 
 #include "clustersim/cluster.hpp"
 #include "clustersim/cpu_model.hpp"
 #include "clustersim/process_map.hpp"
 #include "clustersim/workload.hpp"
 #include "common/diagnostics.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
 #include "runtime/dispatch.hpp"
 
 namespace mh::cluster {
@@ -264,6 +270,72 @@ TEST(Cluster, HybridExplicitFractionMatchesOptimalFormula) {
     }
   }
   EXPECT_NEAR(best_k, kstar, 0.15);
+}
+
+TEST(Cluster, MergedMultiRankTraceFormsConnectedCausalDag) {
+  // A 2-rank hybrid Apply run traced into one TraceSession per rank,
+  // stitched with write_merged_chrome_trace, read back with the strict
+  // parser, and analyzed: the causal DAG must stay connected per rank and
+  // the critical path must be explained by (and not exceed) the makespan.
+  const Workload w = make_workload("trace", kSmall3d, 600, 8, 1.0, 10);
+  auto cfg = base_config(2, ComputeMode::kHybrid);
+  cfg.cpu_compute_threads = 15;
+  obs::TraceSession rank0, rank1;
+  cfg.node_traces = {&rank0, &rank1};
+  const auto result = run_cluster_apply(w, even_map(w.tasks, 2), cfg);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(rank0.span_count(), 0u);
+  EXPECT_GT(rank1.span_count(), 0u);
+
+  std::stringstream ss;
+  obs::write_merged_chrome_trace(ss, {{"rank0", &rank0}, {"rank1", &rank1}});
+  obs::ReadTrace trace;
+  std::string error;
+  ASSERT_TRUE(obs::read_chrome_trace(ss, &trace, &error)) << error;
+  EXPECT_EQ(trace.spans.size(), rank0.span_count() + rank1.span_count());
+
+  // Every rank shows up as its own simulated-time Chrome process.
+  bool saw_rank0 = false, saw_rank1 = false;
+  for (const auto& [pid, name] : trace.process_names) {
+    if (name.find("rank0") != std::string::npos) saw_rank0 = true;
+    if (name.find("rank1") != std::string::npos) saw_rank1 = true;
+  }
+  EXPECT_TRUE(saw_rank0);
+  EXPECT_TRUE(saw_rank1);
+
+  // Flow starts and finishes pair up in the merged file too.
+  std::map<std::uint64_t, int> starts, finishes;
+  for (const obs::ReadFlow& f : trace.flows) {
+    (f.start ? starts : finishes)[f.flow_id]++;
+  }
+  EXPECT_FALSE(starts.empty());
+  EXPECT_EQ(starts, finishes);
+
+  const obs::TraceAnalysis a = obs::analyze_trace(trace);
+  EXPECT_TRUE(a.sim_domain);
+  EXPECT_GT(a.causal_spans, 0u);
+  // Each rank's chain is internally connected: the only extra causal
+  // components are the standalone zero-length "probe" markers carrying the
+  // m/n overlap-model measurements — no orphaned batch/phase spans.
+  std::size_t probes = 0;
+  for (const obs::ReadSpan& s : trace.spans) {
+    if (s.name == "probe") ++probes;
+  }
+  EXPECT_EQ(probes, cfg.nodes);  // one auto-split probe per rank
+  EXPECT_LE(a.connected_components, cfg.nodes + probes);
+  // The critical path explains the makespan (attribution telescopes) and
+  // never exceeds the simulated cluster makespan (1us slack for the
+  // exporter's timestamp rounding).
+  EXPECT_NEAR(a.critical.total_us(), a.makespan_us(),
+              0.01 * a.makespan_us());
+  EXPECT_LE(a.makespan_us(), result.makespan.sec() * 1e6 + 1.0);
+  // Hybrid batches were recognized with a sane overlap model.
+  ASSERT_FALSE(a.batches.empty());
+  EXPECT_GT(a.overlap_efficiency, 0.5);
+  EXPECT_LE(a.overlap_efficiency, 1.0 + 1e-9);
+  // Straggler ranking covers both ranks' tracks, slowest first.
+  ASSERT_GE(a.stragglers.size(), 2u);
+  EXPECT_GE(a.stragglers.front().finish_us, a.stragglers.back().finish_us);
 }
 
 TEST(Cluster, RejectsMismatchedLoadVector) {

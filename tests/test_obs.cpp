@@ -18,10 +18,12 @@
 #include "gpusim/device.hpp"
 #include "gpusim/device_cache.hpp"
 #include "gpusim/gpu_executor.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
 #include "runtime/batching.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -596,6 +598,242 @@ TEST(Metrics, BatchingEngineExportsCountersAndSplitGauges) {
       reg.gauge("mh_batching_split_fraction", "", kind_labels).value();
   EXPECT_GE(split, 0.0);
   EXPECT_LE(split, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Causal tracing: ambient contexts, flow-event export, and the analyzer
+
+TEST(TraceContext, ScopedSpanAdoptsAmbientContextAndRestores) {
+  TraceSession session;
+  EXPECT_FALSE(current_context());
+  std::uint64_t outer_id = 0, task = 0, inner_id = 0;
+  {
+    ScopedSpan outer(&session, "outer", Category::kPreprocess);
+    outer_id = outer.id();
+    task = outer.context().task;
+    ASSERT_NE(outer_id, 0u);
+    // A root span (no ambient context) starts a new task under its own id.
+    EXPECT_EQ(task, outer_id);
+    EXPECT_EQ(current_context().task, task);
+    EXPECT_EQ(current_context().span, outer_id);
+    {
+      ScopedSpan inner(&session, "inner", Category::kCpuCompute);
+      inner_id = inner.id();
+      EXPECT_NE(inner_id, outer_id);
+      EXPECT_EQ(inner.context().task, task);  // same logical task
+      EXPECT_EQ(current_context().span, inner_id);
+    }
+    EXPECT_EQ(current_context().span, outer_id);  // restored on scope exit
+  }
+  EXPECT_FALSE(current_context());
+  const auto spans = session.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner closes first: its parent is the enclosing span, same task id.
+  EXPECT_EQ(spans[0].id, inner_id);
+  EXPECT_EQ(spans[0].parent, outer_id);
+  EXPECT_EQ(spans[0].task, task);
+  EXPECT_EQ(spans[1].parent, 0u);  // the root has no producer
+}
+
+TEST(TraceContext, ScopedContextCarriesProvenanceAcrossThreads) {
+  TraceSession session;
+  TraceContext ctx;
+  {
+    ScopedSpan producer(&session, "produce", Category::kPreprocess);
+    ctx = producer.context();
+  }
+  ASSERT_TRUE(ctx);
+  std::thread consumer([&session, ctx] {
+    ScopedContext provenance(ctx);  // the receive side of a queue hop
+    ScopedSpan span(&session, "consume", Category::kPostprocess);
+    EXPECT_EQ(span.context().task, ctx.task);
+  });
+  consumer.join();
+  bool found = false;
+  for (const Span& s : session.snapshot()) {
+    if (std::string_view(s.name) != "consume") continue;
+    found = true;
+    EXPECT_EQ(s.parent, ctx.span);  // chains to the producer across threads
+    EXPECT_EQ(s.task, ctx.task);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceExport, FlowEventsPairUpAndCatCarriesSubsystem) {
+  TraceSession session;
+  TraceContext ctx;
+  {
+    ScopedSpan producer(&session, "produce", Category::kPreprocess);
+    ctx = producer.context();
+  }
+  std::uint64_t batch_id = 0;
+  std::thread engine_thread([&session, &batch_id, ctx] {
+    set_thread_label("cpu-pool/7");
+    ScopedContext provenance(ctx);
+    ScopedSpan batch(&session, "batch", Category::kBatchFlush);
+    batch_id = batch.id();
+  });
+  engine_thread.join();
+  session.add_edge(ctx.span, batch_id);  // an explicit many-to-one join
+
+  std::ostringstream os;
+  session.write_chrome_trace(os);
+  std::istringstream is(os.str());
+  ReadTrace trace;
+  std::string error;
+  ASSERT_TRUE(read_chrome_trace(is, &trace, &error)) << error;
+
+  // Spans carry their causal identity through the file format.
+  ASSERT_EQ(trace.spans.size(), 2u);
+  bool saw_engine_cat = false;
+  for (const ReadSpan& s : trace.spans) {
+    EXPECT_NE(s.id, 0u);
+    EXPECT_EQ(s.task, ctx.task);
+    // "cat" is "<category>,<subsystem>" — the engine-labelled track maps to
+    // the engine subsystem, the unlabelled test thread to the pool default.
+    if (s.name == "batch") {
+      EXPECT_EQ(s.cat, "batch-flush,engine");
+      saw_engine_cat = true;
+      EXPECT_EQ(s.parent, ctx.span);
+    } else {
+      EXPECT_EQ(s.cat, "preprocess,pool");
+    }
+  }
+  EXPECT_TRUE(saw_engine_cat);
+
+  // One parent link + one add_edge join -> two flows; every "s" start has
+  // exactly one "f" finish with the same flow id and endpoints.
+  std::map<std::uint64_t, int> starts, finishes;
+  for (const ReadFlow& f : trace.flows) {
+    (f.start ? starts : finishes)[f.flow_id]++;
+    EXPECT_EQ(f.from, ctx.span);
+    EXPECT_EQ(f.to, batch_id);
+  }
+  EXPECT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts, finishes);
+  const auto edges = trace.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], std::make_pair(ctx.span, batch_id));
+}
+
+TEST(TraceExport, ControlCharactersInNamesAreEscaped) {
+  TraceSession session;
+  std::thread t([&session] {
+    set_thread_label("weird\nlabel\ttab\x01ctl");
+    ScopedSpan span(&session, "tick", Category::kOther);
+  });
+  t.join();
+  session.counter_add("ctr\nwith\rnewlines", 1.0);
+  std::ostringstream os;
+  session.write_chrome_trace(os);
+  const std::string json = os.str();
+  // The checker rejects bare control characters inside strings, so a valid
+  // verdict means every one of them was escaped.
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  std::istringstream is(json);
+  ReadTrace trace;
+  std::string error;
+  EXPECT_TRUE(read_chrome_trace(is, &trace, &error)) << error;
+}
+
+TEST(TraceExport, EngineRunKeepsTaskChainConnected) {
+  // End to end through the batching engine: every postprocess span must
+  // belong to a task whose enqueue span is in the trace, and its parent
+  // must be a real recorded span (the compute that produced the result).
+  TraceSession session;
+  using Engine = rt::BatchingEngine<int, int>;
+  Engine::Config cfg;
+  cfg.cpu_threads = 2;
+  cfg.max_batch = 16;
+  cfg.flush_interval = std::chrono::milliseconds(1);
+  cfg.trace = &session;
+  Engine engine(cfg);
+  std::atomic<int> done{0};
+  const rt::KindId kind = engine.register_kind(
+      {[](const int& x) { return x + 1; },
+       [](std::span<const int> xs) {
+         std::vector<int> out;
+         for (int x : xs) out.push_back(x + 1);
+         return out;
+       },
+       [&done](int&&) { ++done; },
+       /*input_hash=*/0xce11ull});
+  for (int i = 0; i < 100; ++i) engine.submit(kind, i);
+  engine.wait();
+  EXPECT_EQ(done.load(), 100);
+
+  const auto spans = session.snapshot();
+  std::map<std::uint64_t, const Span*> by_id;
+  std::map<std::uint64_t, int> enqueue_tasks;
+  for (const Span& s : spans) {
+    if (s.id != 0) by_id[s.id] = &s;
+    if (std::string_view(s.name) == "enqueue") enqueue_tasks[s.task]++;
+  }
+  EXPECT_EQ(enqueue_tasks.size(), 100u);  // one task id per submitted item
+  int posts = 0;
+  for (const Span& s : spans) {
+    if (std::string_view(s.name) != "postprocess") continue;
+    ++posts;
+    EXPECT_EQ(enqueue_tasks.count(s.task), 1u) << "orphaned task " << s.task;
+    ASSERT_NE(s.parent, 0u);
+    ASSERT_EQ(by_id.count(s.parent), 1u);
+    // The producer is compute work, on either side of the split.
+    const Category producer_cat = by_id[s.parent]->cat;
+    EXPECT_TRUE(producer_cat == Category::kCpuCompute ||
+                producer_cat == Category::kGpuKernel)
+        << static_cast<int>(producer_cat);
+  }
+  EXPECT_EQ(posts, 100);
+}
+
+TEST(CriticalPath, AttributionTelescopesToSyntheticMakespan) {
+  TraceSession session;
+  const auto track = session.track(ClockDomain::kSim, "node0/phases");
+  // pre [0,10) -> (10us dependency stall) -> compute [20,50) -> post [50,60)
+  const std::uint64_t pre = session.record_sim_linked(
+      track, "pre", Category::kPreprocess, SimTime::micros(0),
+      SimTime::micros(10), {});
+  const std::uint64_t mid = session.record_sim_linked(
+      track, "compute", Category::kCpuCompute, SimTime::micros(20),
+      SimTime::micros(50), {pre, pre});
+  session.record_sim_linked(track, "post", Category::kPostprocess,
+                            SimTime::micros(50), SimTime::micros(60),
+                            {mid, pre});
+
+  std::stringstream ss;
+  session.write_chrome_trace(ss);
+  ReadTrace trace;
+  std::string error;
+  ASSERT_TRUE(read_chrome_trace(ss, &trace, &error)) << error;
+  const TraceAnalysis analysis = analyze_trace(trace);
+
+  EXPECT_TRUE(analysis.sim_domain);
+  EXPECT_EQ(analysis.causal_spans, 3u);
+  EXPECT_EQ(analysis.connected_components, 1u);
+  EXPECT_NEAR(analysis.makespan_us(), 60.0, 1e-6);
+  // The attribution telescopes: 10 pre + 30 compute + 10 post + 10 wait.
+  EXPECT_NEAR(analysis.critical.total_us(), analysis.makespan_us(), 1e-6);
+  EXPECT_NEAR(analysis.critical[Category::kPreprocess], 10.0, 1e-6);
+  EXPECT_NEAR(analysis.critical[Category::kCpuCompute], 30.0, 1e-6);
+  EXPECT_NEAR(analysis.critical[Category::kPostprocess], 10.0, 1e-6);
+  EXPECT_NEAR(analysis.critical.wait_us, 10.0, 1e-6);
+  EXPECT_EQ(analysis.path.size(), 3u);
+}
+
+TEST(Sampler, StopRunsOneFinalProbePass) {
+  MetricsRegistry reg;
+  // Period far beyond the test: the background loop never ticks on its own,
+  // so the only tick is the final flush stop() performs after the join —
+  // without it a run shorter than one period would publish nothing.
+  Sampler sampler({std::chrono::milliseconds(3600 * 1000), &reg});
+  std::atomic<int> runs{0};
+  sampler.add_probe([&runs] { ++runs; });
+  sampler.start();
+  sampler.stop();
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(sampler.ticks(), 1u);
+  sampler.stop();  // idempotent: no thread to join, no extra tick
+  EXPECT_EQ(runs.load(), 1);
 }
 
 TEST(Metrics, GpusimPublishesOccupancyAndCacheHitRatio) {

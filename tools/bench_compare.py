@@ -57,15 +57,27 @@ def entries(record):
         )
 
 
-def compare(bench, base, cur, threshold):
-    """Return a list of failure strings for one bench record pair."""
+def compare(bench, base, cur, threshold, zero_epsilon, zero_tolerance):
+    """Compare one bench record pair.
+
+    Returns (failures, rows): failure strings for every gated regression
+    (never stopping at the first), and one table row per gated entry so the
+    report shows the full delta picture, passing entries included.
+
+    A baseline with |value| <= zero_epsilon has no meaningful ratio — a
+    1e-12 jitter on a ~0 scalar would read as a million-percent regression —
+    so near-zero baselines compare by absolute delta against zero_tolerance
+    instead.
+    """
     failures = []
+    rows = []
     cur_map = {k: (v, d, g, f) for k, v, d, g, f in entries(cur)}
     for key, base_val, direction, gated, base_feasible in entries(base):
         if not gated:
             continue
         if key not in cur_map:
             failures.append(f"{bench}: gated entry {key} missing from current run")
+            rows.append((bench, key, base_val, None, "missing", "FAIL"))
             continue
         cur_val, _, _, cur_feasible = cur_map[key]
         if base_feasible != cur_feasible:
@@ -73,27 +85,68 @@ def compare(bench, base, cur, threshold):
                 f"{bench}: {key} feasibility changed "
                 f"({base_feasible} -> {cur_feasible})"
             )
+            rows.append((bench, key, base_val, cur_val, "feasibility", "FAIL"))
             continue
         if not base_feasible:
+            rows.append((bench, key, base_val, cur_val, "infeasible", "ok"))
             continue
         if base_val is None or cur_val is None:
             failures.append(f"{bench}: {key} has a null value")
+            rows.append((bench, key, base_val, cur_val, "null", "FAIL"))
             continue
-        if base_val == 0:
-            # No meaningful ratio; only an exact sign flip would matter.
+        if abs(base_val) <= zero_epsilon:
+            # Near-zero baseline: ratios explode on jitter, so gate on the
+            # absolute delta instead.
+            delta = cur_val - base_val
+            worse = delta > zero_tolerance if direction == "lower" \
+                else delta < -zero_tolerance
+            if worse:
+                failures.append(
+                    f"{bench}: {key} regressed {base_val:.6g} -> "
+                    f"{cur_val:.6g} (|delta| {abs(delta):.3g} > "
+                    f"{zero_tolerance:.3g} on a near-zero baseline)"
+                )
+            rows.append((bench, key, base_val, cur_val,
+                         f"{delta:+.3g} abs", "FAIL" if worse else "ok"))
             continue
         ratio = cur_val / base_val
+        delta_pct = f"{(ratio - 1.0) * 100:+.1f}%"
+        worse = False
         if direction == "lower" and ratio > 1.0 + threshold:
+            worse = True
             failures.append(
                 f"{bench}: {key} regressed {base_val:.6g} -> {cur_val:.6g} "
                 f"(+{(ratio - 1.0) * 100:.1f}%, limit +{threshold * 100:.0f}%)"
             )
         elif direction == "higher" and ratio < 1.0 - threshold:
+            worse = True
             failures.append(
                 f"{bench}: {key} regressed {base_val:.6g} -> {cur_val:.6g} "
                 f"(-{(1.0 - ratio) * 100:.1f}%, limit -{threshold * 100:.0f}%)"
             )
-    return failures
+        rows.append((bench, key, base_val, cur_val, delta_pct,
+                     "FAIL" if worse else "ok"))
+    return failures, rows
+
+
+def print_table(rows):
+    """Render the per-entry delta table for every gated entry."""
+    header = ("bench", "entry", "baseline", "current", "delta", "status")
+    fmt_rows = [header]
+    for bench, key, base_val, cur_val, delta, status in rows:
+        fmt_rows.append((
+            bench,
+            key,
+            "-" if base_val is None else f"{base_val:.6g}",
+            "-" if cur_val is None else f"{cur_val:.6g}",
+            delta,
+            status,
+        ))
+    widths = [max(len(r[i]) for r in fmt_rows) for i in range(len(header))]
+    for i, r in enumerate(fmt_rows):
+        print("  " + "  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+        if i == 0:
+            print("  " + "  ".join("-" * w for w in widths))
 
 
 def main():
@@ -104,6 +157,13 @@ def main():
                         help="directory with freshly produced BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed fractional regression (default 0.15)")
+    parser.add_argument("--zero-epsilon", type=float, default=1e-9,
+                        help="baselines with |value| <= this have no "
+                             "meaningful ratio and compare by absolute "
+                             "delta (default 1e-9)")
+    parser.add_argument("--zero-tolerance", type=float, default=1e-6,
+                        help="allowed absolute drift for near-zero "
+                             "baselines (default 1e-6)")
     args = parser.parse_args()
 
     baselines = load_records(args.baseline)
@@ -114,20 +174,27 @@ def main():
         return 2
 
     failures = []
+    all_rows = []
     compared = 0
     for bench, base in sorted(baselines.items()):
         if bench not in currents:
             failures.append(f"{bench}: no current BENCH record produced")
             continue
-        fails = compare(bench, base, currents[bench], args.threshold)
+        fails, rows = compare(bench, base, currents[bench], args.threshold,
+                              args.zero_epsilon, args.zero_tolerance)
         gated = sum(1 for _, _, _, g, _ in entries(base) if g)
         compared += gated
         status = "FAIL" if fails else "ok"
         print(f"{bench}: {gated} gated entries, {len(fails)} regressions "
               f"[{status}]")
         failures.extend(fails)
+        all_rows.extend(rows)
     for bench in sorted(set(currents) - set(baselines)):
         print(f"{bench}: new bench (no baseline) — skipped")
+
+    if all_rows:
+        print("\ngated entries:")
+        print_table(all_rows)
 
     print(f"\ncompared {compared} gated entries across "
           f"{len(baselines)} benches, threshold "
