@@ -15,6 +15,7 @@
 #include "bench_harness.hpp"
 #include "common/rng.hpp"
 #include "gpusim/kernels.hpp"
+#include "linalg/batch_gemm.hpp"
 #include "linalg/gemm.hpp"
 #include "tensor/tensor.hpp"
 #include "tensor/transform.hpp"
@@ -44,9 +45,15 @@ int run(int argc, char** argv) {
   Harness h("kernels_micro", argc, argv);
   print_header(
       "Host kernel microbenchmarks — native wall clock on THIS machine");
+  std::cout << "packed GEMM dispatch: "
+            << (linalg::packed_kernels_use_avx2() ? "AVX2 microkernel"
+                                                  : "portable tile")
+            << "\n\n";
   TextTable t({"kernel", "us/iter (p50)", "GFLOPS", "CoV"});
 
-  // mTxm: the (k^2, k) x (k, k) GEMM pattern.
+  // mTxm: the (k^2, k) x (k, k) GEMM pattern. mTxm routes through the
+  // packed batch-GEMM engine; the _ref rows time the legacy scalar kernel
+  // it replaced (kept as the bitwise reference), for context.
   for (const std::size_t k :
        h.quick() ? std::vector<std::size_t>{10, 20}
                  : std::vector<std::size_t>{10, 14, 20, 28}) {
@@ -59,6 +66,47 @@ int run(int argc, char** argv) {
            linalg::gemm_flops(rows, k, k), [&, rows, k] {
              linalg::mTxm(rows, k, k, c.data(), a.data(), b.data());
            });
+    record(h, t, "mTxm_ref_k" + std::to_string(k),
+           linalg::gemm_flops(rows, k, k), [&, rows, k] {
+             linalg::mTxm_ref(rows, k, k, c.data(), a.data(), b.data());
+           });
+  }
+
+  // Batched whole-task fusion: a chunk of Apply tasks through one shared
+  // workspace — the aggregated call the batching runtime's cpu_chunk path
+  // issues per pool task.
+  for (const std::size_t k : h.quick() ? std::vector<std::size_t>{10, 20}
+                                       : std::vector<std::size_t>{10, 20}) {
+    const std::size_t d = 3, terms = 8, nitems = 4;
+    const std::size_t size = k * k * k;
+    Rng rng(h.seed_or(3));
+    std::vector<std::vector<double>> srcs(nitems,
+                                          std::vector<double>(size));
+    std::vector<std::vector<double>> results(nitems,
+                                             std::vector<double>(size, 0.0));
+    std::vector<double> hblocks(nitems * terms * d * k * k);
+    std::vector<double> coeffs(terms, 1.0);
+    for (auto& s : srcs)
+      for (auto& x : s) x = rng.uniform(-1.0, 1.0);
+    for (auto& x : hblocks) x = rng.uniform(-1.0, 1.0);
+    std::vector<std::vector<linalg::GemmMat>> mats(nitems);
+    std::vector<linalg::FusedApplyItem> items(nitems);
+    for (std::size_t i = 0; i < nitems; ++i) {
+      for (std::size_t j = 0; j < terms * d; ++j) {
+        mats[i].push_back(linalg::GemmMat{
+            hblocks.data() + (i * terms * d + j) * k * k, k, k});
+      }
+      items[i].src = srcs[i].data();
+      items[i].mats = {mats[i].data(), mats[i].size()};
+      items[i].coeffs = {coeffs.data(), coeffs.size()};
+      items[i].result = results[i].data();
+    }
+    const double flops =
+        static_cast<double>(nitems) * gpu::ApplyTaskShape{d, k, terms}.flops();
+    linalg::GemmWorkspace ws;
+    record(h, t, "batch_fused_k" + std::to_string(k), flops, [&] {
+      linalg::batch_fused_apply(d, k, items, ws);
+    });
   }
 
   // Mode-wise tensor transform, 3-D and 4-D.

@@ -125,23 +125,13 @@ Tensor custom_fused_compute(const Tensor& source,
   const std::size_t d = source.ndim();
   MH_CHECK(!coeffs.empty() && mats.size() == coeffs.size() * d,
            "need d matrices per term");
-  // Ping-pong buffers reused across all terms (the "resident in shared
-  // memory" organization); accumulation happens term by term in one pass.
+  // The whole M*d chain runs as one fused packed pass through linalg's
+  // batch-GEMM engine: workspace ping-pong buffers reused across all terms
+  // (the "resident in shared memory" organization), per-term scaled
+  // accumulation as the kernel epilogue.
   Tensor result = source;
   result.zero();
-  Tensor ping, pong;
-  for (std::size_t mu = 0; mu < coeffs.size(); ++mu) {
-    ping = source;
-    for (std::size_t mode = 0; mode < d; ++mode) {
-      pong = inner_first(ping, mats[mu * d + mode]);
-      std::swap(ping, pong);
-    }
-    // Accumulate scaled (the kernel's epilogue).
-    const double c = coeffs[mu];
-    double* out = result.data();
-    const double* in = ping.data();
-    for (std::size_t i = 0; i < result.size(); ++i) out[i] += c * in[i];
-  }
+  fused_apply_accumulate(source, mats, coeffs, {}, result);
   return result;
 }
 

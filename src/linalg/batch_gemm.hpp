@@ -1,0 +1,148 @@
+// Batched small-GEMM compute engine — the CPU half of the paper's fused
+// Apply kernel (§II-C), built for the (k^{d-1}, k) x (k, k) shapes of
+// Formula 1 with k in the 10-30 range.
+//
+// The legacy path ran every multiplication through the scalar register-tiled
+// mTxm in gemm.cpp: no packing, no SIMD, one heap-allocated temporary per
+// mode, and M * d independent calls per Apply task. This engine instead
+//   - packs the strided A operand (the transposed tensor walk of mTxm) into
+//     aligned, cache-resident 4-wide panels once per tile,
+//   - runs explicit 4 x 8 register-tile microkernels over the packed panels
+//     (AVX2 on x86-64 when the CPU has it, a same-order portable tile
+//     otherwise), with k-specialized dispatch for the paper's common k so
+//     the contraction loop is fully unrolled,
+//   - fuses the whole M * d transform chain of one Apply task into a single
+//     packed pass over two ping-pong workspace buffers — zero allocations
+//     after warm-up — instead of M * d mTxm calls with fresh temporaries.
+//
+// Numerical contract: every kernel here performs, per output element, the
+// exact same IEEE operation sequence as the scalar reference in gemm.cpp
+// (zeroed accumulator, ascending-k multiply-then-add, one final add into c).
+// No FMA contraction is used on any path (the TUs compile with
+// -ffp-contract=off), so packed, portable, and reference results agree
+// BITWISE — tests assert equality, not tolerance.
+//
+// Thread model: kernels are stateless; all scratch lives in a GemmWorkspace.
+// One workspace per thread (thread_workspace()) makes every pool worker
+// contention-free — the property the work-stealing ThreadPool preserves on
+// the dispatch side.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mh::linalg {
+
+/// Matrix operand of a transform chain: row-major (rows, cols), non-owning.
+/// (linalg sits below tensor in the dependency order, so this mirrors
+/// tensor/transform.hpp's MatrixView at the raw-pointer level.)
+struct GemmMat {
+  const double* ptr = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+/// Counters the engine accumulates per workspace (cheap, thread-local).
+struct BatchGemmStats {
+  std::size_t packed_gemms = 0;   ///< microkernel GEMMs executed
+  std::size_t fused_chains = 0;   ///< whole-task fused passes
+  std::size_t packed_doubles = 0; ///< doubles staged through pack buffers
+};
+
+/// Grow-only aligned scratch arena for packed panels and fused-chain
+/// ping-pong buffers. Reused across calls; never shrinks. One per thread —
+/// see thread_workspace().
+class GemmWorkspace {
+ public:
+  GemmWorkspace() = default;
+  GemmWorkspace(const GemmWorkspace&) = delete;
+  GemmWorkspace& operator=(const GemmWorkspace&) = delete;
+
+  /// 64-byte-aligned buffers, valid until the next call with a larger n.
+  double* pack_a(std::size_t n) { return pack_a_.ensure(n); }
+  double* ping(std::size_t n) { return ping_.ensure(n); }
+  double* pong(std::size_t n) { return pong_.ensure(n); }
+
+  BatchGemmStats& stats() noexcept { return stats_; }
+  const BatchGemmStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Buffer {
+    std::vector<double> storage;
+    double* aligned = nullptr;
+    std::size_t capacity = 0;
+
+    double* ensure(std::size_t n);
+  };
+
+  Buffer pack_a_;
+  Buffer ping_;
+  Buffer pong_;
+  BatchGemmStats stats_;
+};
+
+/// The calling thread's workspace (thread-local, constructed on first use).
+GemmWorkspace& thread_workspace();
+
+/// True when the packed kernels run the AVX2 microkernel on this CPU
+/// (x86-64 with AVX2); false means the same-order portable tile.
+bool packed_kernels_use_avx2() noexcept;
+
+/// Packed mTxm: c(dimi,dimj) += a(dimk,dimi)^T * b(dimk,dimj), all
+/// row-major, contracting only the first `kred` rows (kred >= dimk gives
+/// the full product). Bitwise-identical to mTxm_ref / mTxm_reduced_ref.
+void mTxm_packed(std::size_t dimi, std::size_t dimj, std::size_t dimk,
+                 std::size_t kred, double* c, const double* a,
+                 const double* b, GemmWorkspace& ws);
+
+/// One fused pass over a whole transform chain with assignment semantics:
+///   out = src x_0 mats[0] x_1 mats[1] ... x_{n-1} mats[n-1]
+/// where x_m contracts the leading index of the running intermediate with
+/// mats[m] (rows must match that extent; the result appends cols as the
+/// trailing extent — exactly tensor/transform.hpp's inner_first cycling).
+/// `shape` is src's shape; `out` must hold the final element count
+/// (chain_output_size). kred >= extent disables row screening. All
+/// intermediates live in the workspace: no allocations after warm-up.
+void fused_transform_chain(std::span<const std::size_t> shape,
+                           const double* src, std::span<const GemmMat> mats,
+                           std::size_t kred, double* out, GemmWorkspace& ws);
+
+/// Element count of fused_transform_chain's result.
+std::size_t chain_output_size(std::span<const std::size_t> shape,
+                              std::span<const GemmMat> mats);
+
+/// The paper's whole-task fusion: for a d-dimensional cube source of extent
+/// k, accumulate every separated term in one packed pass,
+///   result += sum_mu coeffs[mu] * (src x_0 h[mu*d+0] ... x_{d-1} h[mu*d+d-1])
+/// with all h square (k, k). `kreds` (optional, per-term) limits each
+/// contraction to the term's reduced rank (empty span = full rank).
+/// Bitwise-identical to the mode-by-mode composition through mTxm_ref plus
+/// gaxpy-style accumulation.
+void fused_apply_chain(std::size_t d, std::size_t k, const double* src,
+                       std::span<const GemmMat> mats,
+                       std::span<const double> coeffs,
+                       std::span<const std::size_t> kreds, double* result,
+                       GemmWorkspace& ws);
+
+/// One item of a batched fused-apply call: an independent Apply task whose
+/// operand tensors share the d/k shape of the batch (the homogeneity the
+/// BatchingEngine's kind hash guarantees).
+struct FusedApplyItem {
+  const double* src = nullptr;      ///< k^d source coefficients
+  std::span<const GemmMat> mats;    ///< terms*d square (k,k) blocks
+  std::span<const double> coeffs;   ///< one weight per term
+  std::span<const std::size_t> kreds;  ///< per-term reduced rank (optional)
+  double* result = nullptr;         ///< k^d accumulation target
+};
+
+/// Batched entry point: run every item's fused chain through one workspace
+/// (packs and ping-pong buffers are sized once and reused across the whole
+/// batch). This is the CPU-side aggregated call the batching runtime hands
+/// a batch's CPU share to.
+void batch_fused_apply(std::size_t d, std::size_t k,
+                       std::span<const FusedApplyItem> items,
+                       GemmWorkspace& ws);
+
+}  // namespace mh::linalg

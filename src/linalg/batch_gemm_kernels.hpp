@@ -1,0 +1,31 @@
+// Internal kernel entry points shared between batch_gemm.cpp (portable
+// tile + dispatch) and batch_gemm_avx2.cpp (the AVX2 TU, compiled with
+// -mavx2 on x86-64 and selected at runtime via __builtin_cpu_supports).
+//
+// Contract for every kernel:
+//   c(dimi, dimj) += a(*, dimi)^T * b(*, dimj), contracting rows 0..kc-1;
+//   a row stride is dimi, b and c row stride is dimj; `apack` holds at
+//   least 4 * max(kc, 1) doubles of caller scratch for the packed panel.
+// Per output element the IEEE operation sequence must be: accumulator
+// zeroed, ascending-k multiply-then-add (no FMA), one final add into c —
+// bitwise-identical to mTxm_ref / mTxm_reduced_ref.
+#pragma once
+
+#include <cstddef>
+
+namespace mh::linalg::detail {
+
+using MTxmKernelFn = void (*)(std::size_t dimi, std::size_t dimj,
+                              std::size_t kc, double* c, const double* a,
+                              const double* b, double* apack);
+
+void mtxm_portable(std::size_t dimi, std::size_t dimj, std::size_t kc,
+                   double* c, const double* a, const double* b,
+                   double* apack);
+
+#if defined(MH_LINALG_HAVE_AVX2_TU)
+void mtxm_avx2(std::size_t dimi, std::size_t dimj, std::size_t kc, double* c,
+               const double* a, const double* b, double* apack);
+#endif
+
+}  // namespace mh::linalg::detail

@@ -1,5 +1,7 @@
 #include "linalg/gemm.hpp"
 
+#include "linalg/batch_gemm.hpp"
+
 namespace mh::linalg {
 namespace {
 
@@ -24,6 +26,12 @@ void mxm(std::size_t dimi, std::size_t dimj, std::size_t dimk,
 
 void mTxm(std::size_t dimi, std::size_t dimj, std::size_t dimk,
           double* c, const double* a, const double* b) noexcept {
+  // Packed-panel SIMD engine; bitwise-identical to mTxm_ref below.
+  mTxm_packed(dimi, dimj, dimk, dimk, c, a, b, thread_workspace());
+}
+
+void mTxm_ref(std::size_t dimi, std::size_t dimj, std::size_t dimk,
+              double* c, const double* a, const double* b) noexcept {
   // a is (dimk, dimi): column i of the logical a^T is a strided walk, but the
   // k-loop reads a and b row-wise, so all streams are unit-stride.
   std::size_t j0 = 0;
@@ -71,6 +79,13 @@ void mxmT(std::size_t dimi, std::size_t dimj, std::size_t dimk,
 void mTxm_reduced(std::size_t dimi, std::size_t dimj, std::size_t dimk,
                   std::size_t kred, double* c, const double* a,
                   const double* b) noexcept {
+  // Packed-panel SIMD engine; bitwise-identical to mTxm_reduced_ref below.
+  mTxm_packed(dimi, dimj, dimk, kred, c, a, b, thread_workspace());
+}
+
+void mTxm_reduced_ref(std::size_t dimi, std::size_t dimj, std::size_t dimk,
+                      std::size_t kred, double* c, const double* a,
+                      const double* b) noexcept {
   if (kred > dimk) kred = dimk;
   // Same layout as mTxm, but the contraction stops at kred: rows kred..dimk
   // of a and b are the screened-away low-norm tail (paper Figure 4).

@@ -24,8 +24,16 @@ void mxm(std::size_t dimi, std::size_t dimj, std::size_t dimk,
 
 /// c(dimi,dimj) += a(dimk,dimi)^T * b(dimk,dimj), all row-major.
 /// This is the MADNESS "mTxmq" pattern used by every tensor transform.
+/// Routed through the packed batch-GEMM engine (linalg/batch_gemm.hpp);
+/// results are bitwise-identical to mTxm_ref.
 void mTxm(std::size_t dimi, std::size_t dimj, std::size_t dimk,
           double* c, const double* a, const double* b) noexcept;
+
+/// Scalar register-tiled reference implementation of mTxm (the pre-engine
+/// kernel, kept as the bitwise ground truth the packed microkernels are
+/// tested against, and as the portable fallback of last resort).
+void mTxm_ref(std::size_t dimi, std::size_t dimj, std::size_t dimk,
+              double* c, const double* a, const double* b) noexcept;
 
 /// c(dimi,dimj) += a(dimi,dimk) * b(dimj,dimk)^T, all row-major.
 void mxmT(std::size_t dimi, std::size_t dimj, std::size_t dimk,
@@ -34,9 +42,16 @@ void mxmT(std::size_t dimi, std::size_t dimj, std::size_t dimk,
 /// Rank-reduced mTxm: contracts only the first `kred` rows of a and b
 /// (i.e. truncates the summation index). Implements the paper's §II-D rank
 /// reduction, where trailing rows/columns of s and h are screened away.
+/// Routed through the packed batch-GEMM engine; bitwise-identical to
+/// mTxm_reduced_ref.
 void mTxm_reduced(std::size_t dimi, std::size_t dimj, std::size_t dimk,
                   std::size_t kred, double* c, const double* a,
                   const double* b) noexcept;
+
+/// Scalar reference implementation of mTxm_reduced (see mTxm_ref).
+void mTxm_reduced_ref(std::size_t dimi, std::size_t dimj, std::size_t dimk,
+                      std::size_t kred, double* c, const double* a,
+                      const double* b) noexcept;
 
 /// Flop count of one GEMM (multiply-adds counted as 2 flops).
 constexpr double gemm_flops(std::size_t dimi, std::size_t dimj,

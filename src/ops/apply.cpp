@@ -1,6 +1,9 @@
 #include "ops/apply.hpp"
 
-#include <array>
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "common/diagnostics.hpp"
 #include "tensor/transform.hpp"
@@ -43,31 +46,48 @@ Tensor apply_task_compute(const SeparatedConvolution& op, const Tensor& source,
       opts.rank_tol > 0.0 ? opts.rank_tol : op.params().thresh;
 
   Tensor result = Tensor::cube(d, k);
-  std::array<MatrixView, kMaxTensorDim> mats;
-  // Keep the shared_ptrs alive while the views are in use.
-  std::array<std::shared_ptr<const Tensor>, kMaxTensorDim> blocks;
+  const std::size_t rank = op.rank();
 
-  for (std::size_t mu = 0; mu < op.rank(); ++mu) {
+  // Gather the whole task's operand set — all rank*d operator blocks, the
+  // term weights, and the per-term reduced ranks — so the M*d transform
+  // chain runs as ONE fused packed pass through the batch-GEMM engine
+  // instead of rank separate general_transform calls with fresh
+  // temporaries (the paper's custom-kernel organization, on the CPU).
+  // Reused per thread: these only grow, so steady state allocates nothing.
+  thread_local std::vector<std::shared_ptr<const Tensor>> blocks;
+  thread_local std::vector<MatrixView> mats;
+  thread_local std::vector<double> coeffs;
+  thread_local std::vector<std::size_t> kreds;
+  blocks.clear();
+  mats.clear();
+  coeffs.clear();
+  kreds.clear();
+
+  for (std::size_t mu = 0; mu < rank; ++mu) {
     std::size_t kred = k;
     for (std::size_t dim = 0; dim < d; ++dim) {
-      blocks[dim] = op.h_block(mu, level, disp[dim]);
-      mats[dim] = MatrixView(*blocks[dim]);
+      // Keep the shared_ptrs alive while the views are in use.
+      blocks.push_back(op.h_block(mu, level, disp[dim]));
+      mats.push_back(MatrixView(*blocks.back()));
       if (opts.rank_reduce) {
         kred = std::min(
             kred, op.reduced_rank(mu, level, disp[dim], rr_tol));
       }
     }
-    Tensor contrib =
-        opts.rank_reduce
-            ? general_transform_reduced(source, {mats.data(), d}, kred)
-            : general_transform(source, {mats.data(), d});
-    result.gaxpy(1.0, contrib, op.term_coeff(mu));
+    coeffs.push_back(op.term_coeff(mu));
+    kreds.push_back(opts.rank_reduce ? kred : k);
     if (stats != nullptr) {
       stats->gemms += d;
       stats->flops += transform_flops(d, k);
       if (opts.rank_reduce && kred < k) stats->rank_reduced_gemms += d;
     }
   }
+  fused_apply_accumulate(source, {mats.data(), mats.size()},
+                         {coeffs.data(), coeffs.size()},
+                         opts.rank_reduce ? std::span<const std::size_t>{
+                                                kreds.data(), kreds.size()}
+                                          : std::span<const std::size_t>{},
+                         result);
   if (stats != nullptr) ++stats->tasks;
   return result;
 }

@@ -84,6 +84,13 @@ class BatchingEngine {
     /// Bound on the CPU pool's task queue (0 = unbounded). With a bound the
     /// dispatcher applies backpressure instead of queueing without limit.
     std::size_t cpu_queue_capacity = 0;
+    /// Items per CPU pool task when fanning a batch's CPU share out
+    /// (<= 1: one task per item, the classic cadence). Larger chunks let
+    /// the work-stealing pool migrate whole runs of small compute calls
+    /// between workers and keep each worker's thread-local GemmWorkspace
+    /// hot across the run; per-item postprocess, error isolation and
+    /// completion accounting are unchanged.
+    std::size_t cpu_chunk = 1;
     /// Span/metrics sink; nullptr falls back to obs::TraceSession::current()
     /// at construction (still tracing-off if that is null too).
     obs::TraceSession* trace = nullptr;
@@ -565,16 +572,35 @@ class BatchingEngine {
       });
     }
 
-    // CPU side: one worker task per item (they are independent MADNESS
-    // tasks; the pool spreads them over the cpu_threads workers). Each item
-    // keeps its own task id; its compute span chains to the batch dispatch.
-    for (std::size_t i = 0; i < ncpu; ++i) {
-      obs::TraceContext ctx = i < staged.ctxs.size() ? staged.ctxs[i]
-                                                     : obs::TraceContext{};
-      if (batch_id != 0) ctx.span = batch_id;
-      submit_cpu_item(kptr, kind_id,
-                      std::make_shared<Input>(std::move(staged.items[i])),
-                      ctx);
+    // CPU side: the batch's CPU share fans out over the work-stealing pool
+    // in chunks of Config::cpu_chunk items (1 = one task per item; they are
+    // independent MADNESS tasks either way). Each item keeps its own task
+    // id; its compute span chains to the batch dispatch.
+    const std::size_t chunk = std::max<std::size_t>(1, config_.cpu_chunk);
+    for (std::size_t i0 = 0; i0 < ncpu; i0 += chunk) {
+      const std::size_t i1 = std::min(ncpu, i0 + chunk);
+      if (i1 - i0 == 1) {
+        obs::TraceContext ctx = i0 < staged.ctxs.size()
+                                    ? staged.ctxs[i0]
+                                    : obs::TraceContext{};
+        if (batch_id != 0) ctx.span = batch_id;
+        submit_cpu_item(kptr, kind_id,
+                        std::make_shared<Input>(std::move(staged.items[i0])),
+                        ctx);
+        continue;
+      }
+      auto items = std::make_shared<std::vector<Input>>();
+      auto ctxs = std::make_shared<std::vector<obs::TraceContext>>();
+      items->reserve(i1 - i0);
+      ctxs->reserve(i1 - i0);
+      for (std::size_t i = i0; i < i1; ++i) {
+        obs::TraceContext ctx = i < staged.ctxs.size() ? staged.ctxs[i]
+                                                       : obs::TraceContext{};
+        if (batch_id != 0) ctx.span = batch_id;
+        items->push_back(std::move(staged.items[i]));
+        ctxs->push_back(ctx);
+      }
+      submit_cpu_chunk(kptr, kind_id, std::move(items), std::move(ctxs));
     }
   }
 
@@ -613,6 +639,55 @@ class BatchingEngine {
         record_error(std::current_exception());
       }
       complete_one();
+    });
+  }
+
+  /// Chunked variant of submit_cpu_item: a contiguous run of a batch's CPU
+  /// share computed as ONE pool task. The steal loop then migrates whole
+  /// runs of small compute calls between workers and each worker's
+  /// thread-local scratch (e.g. linalg's GemmWorkspace) stays hot across
+  /// the run. Per-item spans, postprocess, error isolation and completion
+  /// accounting all match the per-item path; the CPU rate sample is
+  /// aggregated over the chunk (rate.record(n, dt)).
+  void submit_cpu_chunk(Kind* kptr, double kind_id,
+                        std::shared_ptr<std::vector<Input>> items,
+                        std::shared_ptr<std::vector<obs::TraceContext>> ctxs) {
+    cpu_pool_.submit([this, kptr, kind_id, items, ctxs] {
+      double chunk_secs = 0.0;
+      std::size_t computed = 0;
+      for (std::size_t i = 0; i < items->size(); ++i) {
+        obs::TraceContext ctx =
+            i < ctxs->size() ? (*ctxs)[i] : obs::TraceContext{};
+        obs::ScopedContext provenance(ctx);
+        try {
+          obs::TraceContext chain = ctx;
+          Output out = [&] {
+            obs::ScopedSpan cpu_span(trace_, "cpu-compute",
+                                     obs::Category::kCpuCompute,
+                                     {{"kind", kind_id}});
+            if (cpu_span.id() != 0) chain = cpu_span.context();
+            const auto t0 = std::chrono::steady_clock::now();
+            Output result = kptr->spec.compute_cpu((*items)[i]);
+            const std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - t0;
+            chunk_secs += dt.count();
+            ++computed;
+            return result;
+          }();
+          obs::ScopedContext after(chain);
+          obs::ScopedSpan post_span(trace_, "postprocess",
+                                    obs::Category::kPostprocess,
+                                    {{"kind", kind_id}});
+          kptr->spec.postprocess(std::move(out));
+        } catch (...) {
+          record_error(std::current_exception());
+        }
+        complete_one();
+      }
+      if (computed > 0) {
+        std::scoped_lock lock(mu_);
+        kptr->cpu_rate.record(computed, chunk_secs);
+      }
     });
   }
 

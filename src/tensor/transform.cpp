@@ -1,7 +1,10 @@
 #include "tensor/transform.hpp"
 
 #include <array>
+#include <limits>
+#include <vector>
 
+#include "linalg/batch_gemm.hpp"
 #include "linalg/gemm.hpp"
 
 namespace mh {
@@ -44,6 +47,30 @@ Tensor inner_first_impl(const Tensor& t, MatrixView c, std::size_t kred) {
   return r;
 }
 
+// Run the whole mode chain through the batch-GEMM engine in one fused pass:
+// one result allocation, intermediates in the thread's workspace. The chain
+// cycles indices exactly like repeated inner_first, so the final shape is
+// the operators' column extents in order. Bitwise-identical to the
+// mode-by-mode path (the engine's contract).
+Tensor fused_chain(const Tensor& t, std::span<const MatrixView> mats,
+                   std::size_t kred) {
+  MH_CHECK(mats.size() == t.ndim(), "one operator matrix per mode required");
+  MH_CHECK(t.ndim() >= 1 && !t.empty(), "transform on empty tensor");
+  const std::size_t d = t.ndim();
+  std::array<std::size_t, kMaxTensorDim> shape{};
+  std::array<linalg::GemmMat, kMaxTensorDim> gm{};
+  std::array<std::size_t, kMaxTensorDim> out_shape{};
+  for (std::size_t m = 0; m < d; ++m) {
+    shape[m] = t.dim(m);
+    gm[m] = linalg::GemmMat{mats[m].ptr, mats[m].rows, mats[m].cols};
+    out_shape[m] = mats[m].cols;
+  }
+  Tensor r(std::span<const std::size_t>{out_shape.data(), d});
+  linalg::fused_transform_chain({shape.data(), d}, t.data(), {gm.data(), d},
+                                kred, r.data(), linalg::thread_workspace());
+  return r;
+}
+
 }  // namespace
 
 Tensor inner_first(const Tensor& t, MatrixView c) {
@@ -51,34 +78,42 @@ Tensor inner_first(const Tensor& t, MatrixView c) {
 }
 
 Tensor transform(const Tensor& t, MatrixView c) {
-  Tensor r = t;
-  for (std::size_t mode = 0; mode < t.ndim(); ++mode) {
-    r = inner_first_impl(r, c, r.dim(0));
-  }
-  return r;
+  std::array<MatrixView, kMaxTensorDim> mats;
+  mats.fill(c);
+  // kred >= every extent: no screening.
+  return fused_chain(t, {mats.data(), t.ndim()},
+                     std::numeric_limits<std::size_t>::max());
 }
 
 Tensor general_transform(const Tensor& t, std::span<const MatrixView> mats) {
-  MH_CHECK(mats.size() == t.ndim(), "one operator matrix per mode required");
-  Tensor r = t;
-  for (std::size_t mode = 0; mode < t.ndim(); ++mode) {
-    r = inner_first_impl(r, mats[mode], r.dim(0));
-  }
-  return r;
+  return fused_chain(t, mats, std::numeric_limits<std::size_t>::max());
 }
 
 Tensor general_transform_reduced(const Tensor& t,
                                  std::span<const MatrixView> mats,
                                  std::size_t kred) {
-  MH_CHECK(mats.size() == t.ndim(), "one operator matrix per mode required");
-  Tensor r = t;
-  for (std::size_t mode = 0; mode < t.ndim(); ++mode) {
-    // After the first contraction the leading index is an *output* index of
-    // an earlier mode; screening applies to the contracted (input) index
-    // only, which is always index 0 of the current intermediate.
-    r = inner_first_impl(r, mats[mode], kred);
-  }
-  return r;
+  // Screening applies to the contracted (input) index of every mode, which
+  // is always index 0 of the running intermediate — the fused chain applies
+  // kred to each contraction just like repeated inner_first_impl.
+  return fused_chain(t, mats, kred);
+}
+
+void fused_apply_accumulate(const Tensor& t, std::span<const MatrixView> mats,
+                            std::span<const double> coeffs,
+                            std::span<const std::size_t> kreds,
+                            Tensor& result) {
+  const std::size_t d = t.ndim();
+  const std::size_t k = t.ndim() >= 1 ? t.dim(0) : 0;
+  MH_CHECK(result.ndim() == d && result.size() == t.size(),
+           "result/source shape mismatch");
+  thread_local std::vector<linalg::GemmMat> gm;
+  gm.clear();
+  gm.reserve(mats.size());
+  for (const MatrixView& m : mats)
+    gm.push_back(linalg::GemmMat{m.ptr, m.rows, m.cols});
+  linalg::fused_apply_chain(d, k, t.data(), {gm.data(), gm.size()}, coeffs,
+                            kreds, result.data(),
+                            linalg::thread_workspace());
 }
 
 double transform_flops(std::size_t d, std::size_t k) noexcept {

@@ -55,6 +55,19 @@ Tensor general_transform_reduced(const Tensor& t,
                                  std::span<const MatrixView> mats,
                                  std::size_t kred);
 
+/// Whole-task fusion of Formula 1 (the paper's custom-kernel organization,
+/// run on the CPU through linalg's batch-GEMM engine):
+///   result += sum_mu coeffs[mu] * general_transform(t, mats[mu*d .. +d])
+/// in ONE packed pass — all intermediates live in the calling thread's
+/// GemmWorkspace, no per-mode allocations. t must be a cube and every
+/// operator block square (k, k). `kreds`, when non-empty, gives the per-term
+/// reduced rank (general_transform_reduced semantics). Bitwise-identical to
+/// the composed mode-by-mode path.
+void fused_apply_accumulate(const Tensor& t, std::span<const MatrixView> mats,
+                            std::span<const double> coeffs,
+                            std::span<const std::size_t> kreds,
+                            Tensor& result);
+
 /// Flop count of general_transform on a d-dim tensor of extent k per dim
 /// with square (k x k) operators: d GEMMs of (k^{d-1}, k) x (k, k).
 double transform_flops(std::size_t d, std::size_t k) noexcept;

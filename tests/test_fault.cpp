@@ -256,6 +256,41 @@ TEST(ThreadPoolFaults, WorkerSlowStallsTasks) {
   EXPECT_GE(fi.stats(FaultSite::kWorkerSlow).injected, 1u);
 }
 
+TEST(ThreadPoolFaults, StallPinsOneWorkerWhileOthersDrain) {
+  // With the work-stealing pool, an injected stall (site consulted at task
+  // pickup, ordinal 1 = the first task claimed) must pin only the claiming
+  // worker: the other worker keeps draining the remaining tasks while the
+  // victim sits in its delay.
+  FaultInjector fi(11);
+  SiteRule rule;
+  rule.at = {1};
+  rule.delay = 200ms;
+  fi.set_rule(FaultSite::kWorkerSlow, rule);
+  rt::ThreadPool pool(2, "faulty");
+  pool.set_fault_injector(&fi);
+
+  std::atomic<bool> victim_done{false};
+  pool.submit([&] { victim_done = true; });
+  // The victim is the only task, so the first pickup (the stalled ordinal)
+  // is necessarily its claim; wait until the injector has seen it.
+  while (fi.stats(FaultSite::kWorkerSlow).events < 1) {
+    std::this_thread::sleep_for(100us);
+  }
+
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&ran] { ++ran; });
+  }
+  // All 20 must finish on the healthy worker before the 200ms stall ends.
+  while (ran.load() < 20) std::this_thread::sleep_for(100us);
+  EXPECT_FALSE(victim_done.load());
+
+  pool.wait_idle();
+  EXPECT_TRUE(victim_done.load());
+  EXPECT_EQ(fi.stats(FaultSite::kWorkerSlow).injected, 1u);
+  EXPECT_EQ(fi.stats(FaultSite::kWorkerSlow).events, 21u);
+}
+
 // ---------------------------------------------------------------------------
 // BatchingEngine resilience.
 // ---------------------------------------------------------------------------

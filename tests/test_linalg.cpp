@@ -2,10 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/diagnostics.hpp"
 #include "common/rng.hpp"
+#include "linalg/batch_gemm.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/svd.hpp"
@@ -132,6 +135,205 @@ TEST(Gemm, ReducedClampsOversizedKred) {
 
 TEST(Gemm, FlopCount) {
   EXPECT_DOUBLE_EQ(gemm_flops(100, 10, 10), 2.0 * 100 * 10 * 10);
+}
+
+// --- batch-GEMM engine (linalg/batch_gemm.hpp) -------------------------
+//
+// The engine's contract is BITWISE agreement with the scalar reference
+// kernels (same IEEE operation order, no FMA), so these tests compare with
+// EXPECT_EQ on doubles, not tolerances.
+
+// Edge shapes around the 4x8 register tile: dims in {1, 2, tile-1, tile,
+// tile+1} plus the paper's (k^{d-1}, k) shapes; k in {1, 2, 3, 4, 5} and
+// odd j remainders exercise the 4-wide and scalar tails.
+class PackedGemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PackedGemmShapes, PackedBitwiseEqualsScalarReference) {
+  const auto [di, dj, dk] = GetParam();
+  Rng rng(di * 131 + dj * 17 + dk * 3);
+  const auto at = random_matrix(dk, di, rng);
+  const auto b = random_matrix(dk, dj, rng);
+  // Nonzero c: the final "c += acc" add must match too.
+  std::vector<double> c(static_cast<std::size_t>(di) * dj, 0.25);
+  std::vector<double> ref = c;
+  mTxm(di, dj, dk, c.data(), at.data(), b.data());
+  mTxm_ref(di, dj, dk, ref.data(), at.data(), b.data());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_EQ(c[i], ref[i]) << "element " << i << " differs bitwise";
+  }
+}
+
+TEST_P(PackedGemmShapes, ReducedBitwiseEqualsScalarReference) {
+  const auto [di, dj, dk] = GetParam();
+  Rng rng(di * 29 + dj * 31 + dk * 37);
+  const auto at = random_matrix(dk, di, rng);
+  const auto b = random_matrix(dk, dj, rng);
+  for (std::size_t kred : {std::size_t{0}, std::size_t{1},
+                           static_cast<std::size_t>(dk) / 2,
+                           static_cast<std::size_t>(dk)}) {
+    std::vector<double> c(static_cast<std::size_t>(di) * dj, -0.125);
+    std::vector<double> ref = c;
+    mTxm_reduced(di, dj, dk, kred, c.data(), at.data(), b.data());
+    mTxm_reduced_ref(di, dj, dk, kred, ref.data(), at.data(), b.data());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_EQ(c[i], ref[i]) << "kred " << kred << " element " << i;
+    }
+  }
+}
+
+TEST_P(PackedGemmShapes, ExplicitWorkspaceMatchesThreadWorkspace) {
+  const auto [di, dj, dk] = GetParam();
+  Rng rng(di + dj * 1009 + dk * 7);
+  const auto at = random_matrix(dk, di, rng);
+  const auto b = random_matrix(dk, dj, rng);
+  std::vector<double> c1(static_cast<std::size_t>(di) * dj, 0.0);
+  std::vector<double> c2 = c1;
+  GemmWorkspace ws;
+  mTxm_packed(di, dj, dk, dk, c1.data(), at.data(), b.data(), ws);
+  mTxm_packed(di, dj, dk, dk, c2.data(), at.data(), b.data(),
+              thread_workspace());
+  EXPECT_GE(ws.stats().packed_gemms, 1u);
+  for (std::size_t i = 0; i < c1.size(); ++i) ASSERT_EQ(c1[i], c2[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeShapes, PackedGemmShapes,
+    ::testing::Values(
+        // i/j/k in {1, 2, tile±1} around the 4-row / 8-column tile.
+        std::tuple{1, 1, 1}, std::tuple{2, 2, 2}, std::tuple{3, 7, 5},
+        std::tuple{4, 8, 10}, std::tuple{5, 9, 11}, std::tuple{3, 9, 1},
+        std::tuple{5, 7, 2}, std::tuple{4, 4, 4}, std::tuple{2, 12, 30},
+        std::tuple{7, 3, 13},
+        // Paper shapes (k^{d-1}, k) x (k, k) incl. non-multiples of 4/8.
+        std::tuple{100, 10, 10}, std::tuple{196, 14, 14},
+        std::tuple{2744, 14, 14}, std::tuple{400, 20, 20},
+        std::tuple{841, 29, 29}, std::tuple{1, 16, 32}));
+
+TEST(BatchGemm, FusedChainBitwiseEqualsSequentialComposition) {
+  // One fused pass over a d=3 mode chain must reproduce, bit for bit, the
+  // three-call composition through the scalar reference kernel with a
+  // freshly zeroed intermediate per mode (the legacy transform path).
+  const std::size_t k = 10, rest = k * k, size = k * k * k;
+  Rng rng(777);
+  const auto src = random_matrix(k, rest, rng);
+  const auto h0 = random_matrix(k, k, rng);
+  const auto h1 = random_matrix(k, k, rng);
+  const auto h2 = random_matrix(k, k, rng);
+
+  std::vector<double> t1(size, 0.0), t2(size, 0.0), ref(size, 0.0);
+  mTxm_ref(rest, k, k, t1.data(), src.data(), h0.data());
+  mTxm_ref(rest, k, k, t2.data(), t1.data(), h1.data());
+  mTxm_ref(rest, k, k, ref.data(), t2.data(), h2.data());
+
+  const std::size_t shape[3] = {k, k, k};
+  const GemmMat mats[3] = {{h0.data(), k, k}, {h1.data(), k, k},
+                           {h2.data(), k, k}};
+  std::vector<double> fused(size, 0.0);
+  GemmWorkspace ws;
+  fused_transform_chain({shape, 3}, src.data(), {mats, 3}, k, fused.data(),
+                        ws);
+  ASSERT_EQ(chain_output_size({shape, 3}, {mats, 3}), size);
+  for (std::size_t i = 0; i < size; ++i) ASSERT_EQ(fused[i], ref[i]);
+}
+
+TEST(BatchGemm, FusedApplyChainBitwiseEqualsTermByTermComposition) {
+  // Multi-term fusion: result += sum_mu coeff[mu] * chain_mu, with per-term
+  // reduced rank, against the composed scalar path (zeroed temporaries,
+  // mTxm_reduced_ref per mode, gaxpy-style epilogue).
+  const std::size_t d = 3, k = 12, rest = k * k, size = k * k * k;
+  const std::size_t terms = 4;
+  Rng rng(4242);
+  const auto src = random_matrix(k, rest, rng);
+  std::vector<std::vector<double>> h;
+  for (std::size_t i = 0; i < terms * d; ++i)
+    h.push_back(random_matrix(k, k, rng));
+  const double coeffs[terms] = {1.5, -0.25, 3.0, 0.125};
+  const std::size_t kreds[terms] = {k, 7, k, 1};
+
+  // Reference: term-by-term, mode-by-mode through the scalar kernels.
+  std::vector<double> ref(size, 0.0625);
+  for (std::size_t mu = 0; mu < terms; ++mu) {
+    std::vector<double> cur(src);
+    for (std::size_t m = 0; m < d; ++m) {
+      std::vector<double> next(size, 0.0);
+      mTxm_reduced_ref(rest, k, k, kreds[mu], next.data(), cur.data(),
+                       h[mu * d + m].data());
+      cur = std::move(next);
+    }
+    for (std::size_t i = 0; i < size; ++i)
+      ref[i] = 1.0 * ref[i] + coeffs[mu] * cur[i];
+  }
+
+  std::vector<GemmMat> mats;
+  for (std::size_t i = 0; i < terms * d; ++i)
+    mats.push_back(GemmMat{h[i].data(), k, k});
+  std::vector<double> out(size, 0.0625);
+  GemmWorkspace ws;
+  fused_apply_chain(d, k, src.data(), {mats.data(), mats.size()},
+                    {coeffs, terms}, {kreds, terms}, out.data(), ws);
+  EXPECT_EQ(ws.stats().fused_chains, 1u);
+  for (std::size_t i = 0; i < size; ++i) ASSERT_EQ(out[i], ref[i]);
+}
+
+TEST(BatchGemm, BatchedFusedApplySharesOneWorkspace) {
+  // batch_fused_apply must equal per-item fused_apply_chain calls (it IS
+  // that loop, with buffers reused), and the workspace must see every item.
+  const std::size_t d = 2, k = 5, size = k * k;
+  const std::size_t items = 3, terms = 2;
+  Rng rng(9);
+  std::vector<std::vector<double>> srcs, hs;
+  for (std::size_t i = 0; i < items; ++i)
+    srcs.push_back(random_matrix(k, k, rng));
+  for (std::size_t i = 0; i < items * terms * d; ++i)
+    hs.push_back(random_matrix(k, k, rng));
+  const double coeffs[terms] = {2.0, -1.0};
+
+  std::vector<std::vector<double>> results(items,
+                                           std::vector<double>(size, 0.0));
+  std::vector<std::vector<double>> expected = results;
+  std::vector<std::vector<GemmMat>> mats(items);
+  std::vector<FusedApplyItem> batch;
+  for (std::size_t i = 0; i < items; ++i) {
+    for (std::size_t j = 0; j < terms * d; ++j)
+      mats[i].push_back(GemmMat{hs[i * terms * d + j].data(), k, k});
+    FusedApplyItem item;
+    item.src = srcs[i].data();
+    item.mats = {mats[i].data(), mats[i].size()};
+    item.coeffs = {coeffs, terms};
+    item.result = results[i].data();
+    batch.push_back(item);
+  }
+  GemmWorkspace batch_ws;
+  batch_fused_apply(d, k, batch, batch_ws);
+  EXPECT_EQ(batch_ws.stats().fused_chains, items);
+
+  for (std::size_t i = 0; i < items; ++i) {
+    GemmWorkspace ws;
+    fused_apply_chain(d, k, srcs[i].data(), {mats[i].data(), mats[i].size()},
+                      {coeffs, terms}, {}, expected[i].data(), ws);
+    for (std::size_t e = 0; e < size; ++e)
+      ASSERT_EQ(results[i][e], expected[i][e]);
+  }
+}
+
+TEST(BatchGemm, VectorAndDegenerateChains) {
+  // 1-D tensor (rest = 1) and an empty chain (pure copy).
+  const std::size_t k = 7;
+  Rng rng(55);
+  const auto v = random_matrix(1, k, rng);
+  const auto h = random_matrix(k, 3, rng);
+  std::vector<double> out(3, 0.0), ref(3, 0.0);
+  const std::size_t shape[1] = {k};
+  const GemmMat mats[1] = {{h.data(), k, 3}};
+  GemmWorkspace ws;
+  fused_transform_chain({shape, 1}, v.data(), {mats, 1}, k, out.data(), ws);
+  mTxm_ref(1, 3, k, ref.data(), v.data(), h.data());
+  for (std::size_t i = 0; i < 3; ++i) ASSERT_EQ(out[i], ref[i]);
+
+  std::vector<double> copy(k, 0.0);
+  fused_transform_chain({shape, 1}, v.data(), {}, k, copy.data(), ws);
+  for (std::size_t i = 0; i < k; ++i) ASSERT_EQ(copy[i], v[i]);
 }
 
 TEST(Qr, ReproducesMatrixAndOrthonormalQ) {

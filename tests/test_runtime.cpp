@@ -108,6 +108,116 @@ TEST(ThreadPool, WorkersBypassTheQueueBound) {
 
 TEST(ThreadPool, RequiresWorkers) { EXPECT_THROW(ThreadPool(0), Error); }
 
+// --- work-stealing semantics -------------------------------------------
+
+TEST(ThreadPool, StressManyProducersNoLostOrDuplicatedTasks) {
+  // N external producers feed the round-robin inboxes while every task
+  // spawns a child into its worker's own deque — both submission paths and
+  // the steal path run concurrently. Every id must execute exactly once.
+  constexpr int kProducers = 6, kWorkers = 4, kPerProducer = 400;
+  constexpr int kTotal = kProducers * kPerProducer * 2;
+  ThreadPool pool(kWorkers, "stress");
+  std::vector<std::atomic<int>> hits(kTotal);
+  for (auto& h : hits) h.store(0);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int id = (p * kPerProducer + i) * 2;
+        pool.submit([&, id] {
+          hits[id].fetch_add(1, std::memory_order_relaxed);
+          pool.submit([&, id] {
+            hits[id + 1].fetch_add(1, std::memory_order_relaxed);
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  for (int i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "task " << i << " lost or duplicated";
+  }
+  EXPECT_EQ(pool.executed(), static_cast<std::size_t>(kTotal));
+  const auto st = pool.stats();
+  EXPECT_EQ(st.queued, 0u);
+  EXPECT_EQ(st.active, 0u);
+  EXPECT_EQ(st.executed, static_cast<std::size_t>(kTotal));
+}
+
+TEST(ThreadPool, IdleWorkersStealSpawnedTasks) {
+  // Worker-spawned tasks land in the spawner's own deque; external threads
+  // never touch it. While the spawner spins, the only way `ran` can move is
+  // another worker stealing from that deque — so progress proves a steal.
+  ThreadPool pool(4, "steal");
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    while (ran.load() == 0) std::this_thread::sleep_for(50us);
+  });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_GE(pool.steals(), 1u);
+}
+
+TEST(ThreadPool, BoundedBackpressureEngagesAcrossWorkers) {
+  // Capacity counts pending tasks pool-wide, not per deque: with both
+  // workers pinned and capacity 2, the third external submit must block
+  // until the pool drains, then everything still runs exactly once.
+  ThreadPool pool(2, "bp2", /*queue_capacity=*/2);
+  std::atomic<bool> gate{false};
+  std::atomic<int> pinned{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&] {
+      ++pinned;
+      while (!gate) std::this_thread::sleep_for(100us);
+    });
+  }
+  while (pinned.load() < 2) std::this_thread::sleep_for(100us);
+
+  std::atomic<int> accepted{0}, ran{0};
+  std::thread submitter([&] {
+    for (int i = 0; i < 6; ++i) {
+      pool.submit([&ran] { ++ran; });
+      ++accepted;
+    }
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(accepted.load(), 2);  // backpressure engaged at the bound
+  gate = true;
+  submitter.join();
+  pool.wait_idle();
+  EXPECT_EQ(accepted.load(), 6);
+  EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(ThreadPool, RecursiveSpawnFanOutUnderStealing) {
+  // A spawn tree three levels deep: 4 -> 16 -> 64 leaves, all claimable by
+  // any worker mid-tree. executed() counts every node exactly once.
+  ThreadPool pool(3, "tree");
+  std::atomic<int> leaves{0};
+  pool.submit([&] {
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&] {
+        for (int j = 0; j < 4; ++j) {
+          pool.submit([&] {
+            for (int l = 0; l < 4; ++l) {
+              pool.submit([&leaves] {
+                leaves.fetch_add(1, std::memory_order_relaxed);
+              });
+            }
+          });
+        }
+      });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(leaves.load(), 64);
+  EXPECT_EQ(pool.executed(), 1u + 4u + 16u + 64u);
+}
+
 TEST(Dispatch, OptimalFractionFormula) {
   // m = 24.3 (10 CPU threads), n = 24.7 (6 streams): Table I regime.
   const double k = optimal_cpu_fraction(24.3, 24.7);
@@ -181,6 +291,59 @@ TEST(BatchingEngine, ProcessesEveryItemExactlyOnce) {
   EXPECT_EQ(stats.completed, 500u);
   EXPECT_EQ(stats.cpu_items + stats.gpu_items, 500u);
   EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(BatchingEngine, CpuChunkingProcessesEveryItemExactlyOnce) {
+  // cpu_chunk > 1 aggregates several items into one pool task (one packed
+  // engine call in the real Apply kind) without changing the contract:
+  // every item computed and postprocessed exactly once, same stats.
+  auto cfg = quick_config(1.0);  // CPU-only: every item takes the chunk path
+  cfg.cpu_chunk = 8;
+  Engine engine(cfg);
+  std::mutex mu;
+  std::multiset<int> seen;
+  const KindId kind = engine.register_kind(
+      {[](const int& x) { return x * 3; },
+       [](std::span<const int> xs) {
+         std::vector<int> out;
+         for (int x : xs) out.push_back(x * 3);
+         return out;
+       },
+       [&](int&& out) {
+         std::scoped_lock lock(mu);
+         seen.insert(out);
+       },
+       /*input_hash=*/21});
+  for (int i = 0; i < 500; ++i) engine.submit(kind, i);
+  engine.wait();
+  ASSERT_EQ(seen.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(seen.count(i * 3), 1u) << i;
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 500u);
+  EXPECT_EQ(stats.completed, 500u);
+  EXPECT_EQ(stats.cpu_items, 500u);
+}
+
+TEST(BatchingEngine, CpuChunkingIsolatesPerItemErrors) {
+  // One poisoned item inside a chunk must not take its chunk-mates down:
+  // the error surfaces from wait(), every other item still completes.
+  auto cfg = quick_config(1.0);
+  cfg.cpu_chunk = 16;
+  Engine engine(cfg);
+  std::atomic<int> done{0};
+  const KindId kind = engine.register_kind(
+      {[](const int& x) {
+         if (x == 137) throw std::runtime_error("poisoned item");
+         return x;
+       },
+       [](std::span<const int> xs) {
+         return std::vector<int>(xs.begin(), xs.end());
+       },
+       [&](int&&) { ++done; },
+       /*input_hash=*/22});
+  for (int i = 0; i < 300; ++i) engine.submit(kind, i);
+  EXPECT_THROW(engine.wait(), std::runtime_error);
+  EXPECT_EQ(done.load(), 299);
 }
 
 TEST(BatchingEngine, CpuOnlyFractionNeverCallsGpu) {

@@ -149,12 +149,42 @@ def print_table(rows):
             print("  " + "  ".join("-" * w for w in widths))
 
 
+def write_markdown(path, rows, failures, compared, nbenches, threshold):
+    """Write the gated-entry table as GitHub-flavored markdown (for
+    $GITHUB_STEP_SUMMARY)."""
+    lines = ["## Bench comparison", ""]
+    if failures:
+        lines.append(f"**{len(failures)} regression(s)** across {compared} "
+                     f"gated entries ({nbenches} benches, threshold "
+                     f"±{threshold * 100:.0f}%).")
+    else:
+        lines.append(f"No regressions: {compared} gated entries across "
+                     f"{nbenches} benches within ±"
+                     f"{threshold * 100:.0f}%.")
+    lines += ["", "| bench | entry | baseline | current | delta | status |",
+              "|---|---|---:|---:|---:|---|"]
+    for bench, key, base_val, cur_val, delta, status in rows:
+        base_s = "-" if base_val is None else f"{base_val:.6g}"
+        cur_s = "-" if cur_val is None else f"{cur_val:.6g}"
+        badge = ":x: FAIL" if status == "FAIL" else ":white_check_mark: ok"
+        lines.append(f"| {bench} | `{key}` | {base_s} | {cur_s} | {delta} "
+                     f"| {badge} |")
+    if failures:
+        lines += ["", "### Regressions", ""]
+        lines += [f"- {f}" for f in failures]
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
                         help="directory with baseline BENCH_*.json files")
     parser.add_argument("--current", required=True,
                         help="directory with freshly produced BENCH_*.json")
+    parser.add_argument("--markdown", metavar="PATH",
+                        help="append the per-entry table as GitHub-flavored "
+                             "markdown to PATH (e.g. $GITHUB_STEP_SUMMARY)")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed fractional regression (default 0.15)")
     parser.add_argument("--zero-epsilon", type=float, default=1e-9,
@@ -195,6 +225,9 @@ def main():
     if all_rows:
         print("\ngated entries:")
         print_table(all_rows)
+    if args.markdown:
+        write_markdown(args.markdown, all_rows, failures, compared,
+                       len(baselines), args.threshold)
 
     print(f"\ncompared {compared} gated entries across "
           f"{len(baselines)} benches, threshold "
