@@ -1,8 +1,11 @@
 #include "clustersim/cluster.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <deque>
 
 #include "common/diagnostics.hpp"
+#include "common/hash.hpp"
 #include "runtime/dispatch.hpp"
 
 namespace mh::cluster {
@@ -112,12 +115,18 @@ std::uint64_t record_batch(NodeBreakdown* bd, const NodeTracer& tracer,
   return prev;
 }
 
+// The GPU/hybrid node times below run on an absolute clock from `start` and
+// return the end time; node_run_time converts back to a duration. The
+// causal chain is seeded with `chain_from` so back-to-back invocations on
+// one node (the steal scheduler runs one group per call) form a single
+// connected per-rank timeline.
 SimTime gpu_only_node_time(const Workload& workload, std::size_t tasks,
                            const ClusterConfig& config,
                            NodeBreakdown* breakdown,
                            const NodeTracer& tracer,
                            const std::string& node_track,
-                           std::uint64_t* last_span) {
+                           std::uint64_t* last_span, SimTime start,
+                           std::uint64_t chain_from) {
   gpu::GpuDevice device(config.node.device, config.node.gpu_streams);
   if (tracer.session != nullptr) {
     device.set_trace(tracer.session, node_track + "/gpu/");
@@ -125,9 +134,9 @@ SimTime gpu_only_node_time(const Workload& workload, std::size_t tasks,
   gpu::BatchConfig gcfg = config.gpu;
   gcfg.streams = config.node.gpu_streams;
   std::size_t remaining_new = workload.unique_h_blocks;
-  SimTime t = SimTime::zero();
+  SimTime t = start;
   std::size_t left = tasks;
-  std::uint64_t prev_last = 0;
+  std::uint64_t prev_last = chain_from;
   while (left > 0) {
     const std::size_t count = std::min(left, config.batch_size);
     const auto batch = make_batch(workload, count, remaining_new);
@@ -154,7 +163,8 @@ SimTime hybrid_node_time(const Workload& workload, std::size_t tasks,
                          const ClusterConfig& config,
                          NodeBreakdown* breakdown, const NodeTracer& tracer,
                          const std::string& node_track,
-                         std::uint64_t* last_span) {
+                         std::uint64_t* last_span, SimTime start,
+                         std::uint64_t chain_from) {
   gpu::GpuDevice device(config.node.device, config.node.gpu_streams);
   if (tracer.session != nullptr) {
     device.set_trace(tracer.session, node_track + "/gpu/");
@@ -187,8 +197,7 @@ SimTime hybrid_node_time(const Workload& workload, std::size_t tasks,
       // and GPU-only (n) times — the overlap-model analyzer compares every
       // batch's measured makespan against m·n/(m+n) built from these.
       tracer.session->record_sim_linked(
-          tracer.phases, "probe", obs::Category::kOther, SimTime::zero(),
-          SimTime::zero(), {},
+          tracer.phases, "probe", obs::Category::kOther, start, start, {},
           {{"m_us", m.us()},
            {"n_us", n.us()},
            {"items", static_cast<double>(probe)},
@@ -197,9 +206,9 @@ SimTime hybrid_node_time(const Workload& workload, std::size_t tasks,
   }
 
   std::size_t remaining_new = workload.unique_h_blocks;
-  SimTime t = SimTime::zero();
+  SimTime t = start;
   std::size_t left = tasks;
-  std::uint64_t prev_last = 0;
+  std::uint64_t prev_last = chain_from;
   while (left > 0) {
     const std::size_t count = std::min(left, config.batch_size);
     std::size_t ncpu = rt::cpu_share(count, frac);
@@ -274,12 +283,49 @@ SimTime hybrid_node_time(const Workload& workload, std::size_t tasks,
   return t;
 }
 
+// Seconds per task under the node model — the steal scheduler's shared
+// projection for both sides of a profitability check. Exact modulo batch
+// quantization for CPU-only; probe-derived (warm operator cache) for GPU
+// and hybrid, where the hybrid ideal per-batch time is m·n/(m+n) or the
+// explicit split's max side.
+double estimate_task_seconds(const Workload& workload,
+                             const ClusterConfig& config) {
+  const std::size_t probe =
+      std::max<std::size_t>(std::size_t{1}, config.batch_size);
+  const double rank_scale = config.rank_reduce ? config.rank_fraction : 1.0;
+  const double m = cpu_batch_time(config.node.cpu, workload.shape, probe,
+                                  config.cpu_compute_threads, rank_scale)
+                       .sec();
+  if (config.mode == ComputeMode::kCpuOnly) {
+    return m / static_cast<double>(probe);
+  }
+  gpu::GpuDevice device(config.node.device, config.node.gpu_streams);
+  gpu::BatchConfig gcfg = config.gpu;
+  gcfg.streams = config.node.gpu_streams;
+  std::size_t warm = 0;  // steady state: operator cache warm
+  const auto batch = make_batch(workload, probe, warm);
+  const double n =
+      gpu::run_apply_batch(device, nullptr, batch, gcfg, SimTime::zero())
+          .elapsed()
+          .sec();
+  if (config.mode == ComputeMode::kGpuOnly) {
+    return n / static_cast<double>(probe);
+  }
+  const double batch_s =
+      config.cpu_fraction >= 0.0
+          ? std::max(m * config.cpu_fraction,
+                     n * (1.0 - config.cpu_fraction))
+          : (m * n) / (m + n);
+  return batch_s / static_cast<double>(probe);
+}
+
 }  // namespace
 
 SimTime node_run_time(const Workload& workload, std::size_t tasks,
                       const ClusterConfig& config, NodeBreakdown* breakdown,
                       const std::string& node_track,
-                      std::uint64_t* last_span) {
+                      std::uint64_t* last_span, SimTime start,
+                      std::uint64_t chain_from) {
   if (last_span != nullptr) *last_span = 0;
   if (tasks == 0) return SimTime::zero();
   const NodeTracer tracer = make_tracer(config, node_track);
@@ -287,17 +333,20 @@ SimTime node_run_time(const Workload& workload, std::size_t tasks,
     case ComputeMode::kCpuOnly: {
       const SimTime t = cpu_only_node_time(workload, tasks, config);
       if (breakdown != nullptr) breakdown->cpu_compute += t;
-      const std::uint64_t id = tracer.span(
-          "cpu-compute", obs::Category::kCpuCompute, SimTime::zero(), t);
+      const std::uint64_t id =
+          tracer.span("cpu-compute", obs::Category::kCpuCompute, start,
+                      start + t, {chain_from, 0});
       if (last_span != nullptr) *last_span = id;
       return t;
     }
     case ComputeMode::kGpuOnly:
       return gpu_only_node_time(workload, tasks, config, breakdown, tracer,
-                                node_track, last_span);
+                                node_track, last_span, start, chain_from) -
+             start;
     case ComputeMode::kHybrid:
       return hybrid_node_time(workload, tasks, config, breakdown, tracer,
-                              node_track, last_span);
+                              node_track, last_span, start, chain_from) -
+             start;
   }
   MH_CHECK(false, "unknown compute mode");
   return SimTime::zero();
@@ -311,6 +360,17 @@ ClusterResult run_cluster_apply(const Workload& workload,
 
   ClusterResult result;
   result.load_imbalance = imbalance(loads);
+
+  // An all-zero schedule is feasible but vacuous: makespan 0 and
+  // imbalance 1.0 would read as a perfect run, so say what happened.
+  std::size_t total_tasks = 0;
+  for (const std::size_t l : loads) total_tasks += l;
+  if (total_tasks == 0) {
+    result.empty = true;
+    result.note = "empty schedule: no tasks";
+    result.node_times.assign(loads.size(), SimTime::zero());
+    return result;
+  }
 
   // Feasibility: every node's GPU data must fit (GPU and hybrid modes).
   if (config.mode != ComputeMode::kCpuOnly) {
@@ -339,14 +399,19 @@ ClusterResult run_cluster_apply(const Workload& workload,
                                           &breakdown, node_track, &last_span);
     // Remote accumulations: latency-dominated small messages, overlapped
     // poorly with the tail of the computation (conservatively additive).
-    const double msgs =
-        static_cast<double>(tasks) * workload.remote_fraction;
-    const SimTime comm =
-        SimTime::seconds(msgs * (config.message_latency.sec() +
-                                 msg_bytes / config.interconnect_bandwidth));
-    make_tracer(node_config, node_track)
-        .span("comm", obs::Category::kComm, compute, compute + comm,
-              {last_span, 0});
+    // A node with no tasks sends nothing — emitting its comm span would
+    // plant a parentless orphan at t=0 on an otherwise empty rank.
+    SimTime comm;
+    if (tasks > 0) {
+      const double msgs =
+          static_cast<double>(tasks) * workload.remote_fraction;
+      comm =
+          SimTime::seconds(msgs * (config.message_latency.sec() +
+                                   msg_bytes / config.interconnect_bandwidth));
+      make_tracer(node_config, node_track)
+          .span("comm", obs::Category::kComm, compute, compute + comm,
+                {last_span, 0});
+    }
     const SimTime total = compute + comm;
     result.node_times.push_back(total);
     if (total > result.makespan) {
@@ -358,6 +423,313 @@ ClusterResult run_cluster_apply(const Workload& workload,
     }
   }
   return result;
+}
+
+StealPolicy StealPolicy::from_env() {
+  StealPolicy policy;
+  if (const char* v = std::getenv("MH_STEAL_VICTIM")) {
+    const std::string s(v);
+    if (s == "random") {
+      policy.victim = Victim::kRandom;
+    } else if (s == "locality") {
+      policy.victim = Victim::kLocalityBiased;
+    }
+  }
+  if (const char* v = std::getenv("MH_STEAL_OWNED_FRACTION")) {
+    char* end = nullptr;
+    const double f = std::strtod(v, &end);
+    if (end != v && f >= 0.0 && f <= 1.0) policy.owned_bytes_fraction = f;
+  }
+  return policy;
+}
+
+StealScheduleResult run_cluster_apply_stealing(
+    const Workload& workload, const GroupMap& placement,
+    const std::vector<std::size_t>& group_owner, const ClusterConfig& config,
+    const StealPolicy& policy) {
+  MH_CHECK(config.nodes >= 1, "need at least one node");
+  MH_CHECK(placement.nodes == config.nodes,
+           "placement node count / cluster node count mismatch");
+  const std::vector<std::size_t>& sizes = workload.group_sizes;
+  MH_CHECK(placement.node_of.size() == sizes.size(),
+           "placement / workload group count mismatch");
+  MH_CHECK(group_owner.empty() || group_owner.size() == sizes.size(),
+           "group owner / group count mismatch");
+
+  StealScheduleResult out;
+  ClusterResult& result = out.result;
+  const std::size_t nodes = config.nodes;
+  out.executed.assign(nodes, 0);
+
+  std::size_t total_tasks = 0;
+  for (const std::size_t s : sizes) total_tasks += s;
+  if (total_tasks == 0) {
+    result.empty = true;
+    result.note = "empty schedule: no tasks";
+    result.node_times.assign(nodes, SimTime::zero());
+    return out;
+  }
+
+  // Feasibility against the worst *initial* load: stealing only moves work
+  // off that node, so the static bound is the conservative one.
+  if (config.mode != ComputeMode::kCpuOnly) {
+    const NodeLoads initial = placement.loads(sizes);
+    const std::size_t worst =
+        *std::max_element(initial.begin(), initial.end());
+    std::string note;
+    if (!gpu_fits(workload, worst, config, &note)) {
+      result.feasible = false;
+      result.note = note;
+      return out;
+    }
+  }
+
+  // Per-node discrete-event state: a FIFO queue of whole groups and a
+  // local clock. Steal decisions compare clocks plus the shared per-task
+  // estimate, so both sides of a profitability check use one yardstick.
+  struct NodeState {
+    std::deque<std::size_t> queue;
+    SimTime t;
+    std::size_t pending = 0;  // queued tasks
+    NodeBreakdown breakdown;
+    std::uint64_t chain = 0;  // last causal span on this node's track
+    ClusterConfig cfg;
+    std::string track;
+  };
+  std::vector<NodeState> ns(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    ns[i].cfg = config;
+    if (!config.node_traces.empty()) {
+      ns[i].cfg.trace = config.node_traces[i % config.node_traces.size()];
+    }
+    ns[i].track = "node" + std::to_string(i);
+  }
+  for (std::size_t g = 0; g < sizes.size(); ++g) {
+    if (sizes[g] == 0) continue;  // empty groups neither run nor migrate
+    NodeState& home = ns[placement.node_of[g]];
+    home.queue.push_back(g);
+    home.pending += sizes[g];
+  }
+
+  const double est = estimate_task_seconds(workload, config);
+  const double msg_bytes = workload.shape.tensor_bytes();
+  const std::size_t cap =
+      policy.max_steals != 0 ? policy.max_steals : 4 * sizes.size();
+  std::uint64_t rng = mix64(policy.seed | 1);
+  const auto next_rand = [&rng]() {
+    rng = mix64(rng + 0x9e3779b97f4a7c15ULL);
+    return rng;
+  };
+
+  const auto owned_by = [&](std::size_t g, std::size_t rank) {
+    return !group_owner.empty() && group_owner[g] == rank;
+  };
+
+  // Migration cost of group g into `thief` (request round trip + transfer;
+  // owned groups ship descriptors, not coefficients) and the thief's
+  // projected finish were it granted.
+  const auto steal_cost = [&](std::size_t g, bool owned) {
+    const double bytes = static_cast<double>(sizes[g]) * msg_bytes *
+                         (owned ? policy.owned_bytes_fraction : 1.0);
+    return SimTime::seconds(3.0 * config.message_latency.sec() +
+                            bytes / config.interconnect_bandwidth);
+  };
+  const auto thief_finish = [&](const NodeState& me, std::size_t g,
+                                bool owned) {
+    return me.t + steal_cost(g, owned) +
+           SimTime::seconds(est * static_cast<double>(sizes[g]));
+  };
+
+  const auto attempt_steal = [&](std::size_t thief) -> bool {
+    NodeState& me = ns[thief];
+    std::size_t victim = nodes;
+    std::size_t group = sizes.size();
+    // A candidate is profitable when the thief finishes the group before
+    // the victim would drain its whole queue — the migration then
+    // shortens the victim's projected finish instead of shuffling work.
+    const auto profitable = [&](std::size_t v, std::size_t g, bool owned) {
+      const SimTime victim_done =
+          ns[v].t +
+          SimTime::seconds(est * static_cast<double>(ns[v].pending));
+      return thief_finish(me, g, owned) < victim_done;
+    };
+    if (policy.victim == StealPolicy::Victim::kRandom) {
+      std::vector<std::size_t> candidates;
+      for (std::size_t v = 0; v < nodes; ++v) {
+        if (v != thief && !ns[v].queue.empty()) candidates.push_back(v);
+      }
+      if (candidates.empty()) return false;
+      victim = candidates[next_rand() % candidates.size()];
+      group = ns[victim].queue.back();
+    } else {
+      // LPT-style selection: among every profitable (victim, group) pair,
+      // take the group worth the most net simulated time to the thief —
+      // compute gained minus migration cost. Big subtrees are the urgent
+      // candidates (their steal window closes as soon as the victim's
+      // FIFO reaches them, and moving one frees its victim to turn thief
+      // in cascade), and the locality bias enters through the cost term —
+      // owned groups ship descriptors instead of coefficients, so at
+      // comparable size the owned group wins — rather than a hard
+      // owned-first rule that would trade balance for locality.
+      SimTime best = SimTime::seconds(-1e300);
+      SimTime best_owned_net = SimTime::seconds(-1e300);
+      std::size_t owned_victim = nodes;
+      std::size_t owned_group = sizes.size();
+      for (std::size_t v = 0; v < nodes; ++v) {
+        if (v == thief || ns[v].queue.empty()) continue;
+        for (const std::size_t g : ns[v].queue) {
+          const bool owned = owned_by(g, thief);
+          if (!profitable(v, g, owned)) continue;
+          const SimTime net =
+              SimTime::seconds(est * static_cast<double>(sizes[g])) -
+              steal_cost(g, owned);
+          if (net > best) {
+            best = net;
+            victim = v;
+            group = g;
+          }
+          if (owned && net > best_owned_net) {
+            best_owned_net = net;
+            owned_victim = v;
+            owned_group = g;
+          }
+        }
+      }
+      if (victim == nodes) return false;
+      // Bounded owned preference: take the best owned candidate instead
+      // of the overall best when it is worth at least half as much — the
+      // descriptor-only migration is preferred, but never at more than a
+      // 2x sacrifice in compute gained.
+      if (owned_victim != nodes &&
+          best_owned_net.sec() >= 0.5 * best.sec()) {
+        victim = owned_victim;
+        group = owned_group;
+      }
+    }
+    ++out.steals.attempts;
+
+    // Profitability: the thief must finish the group before the victim
+    // would drain its whole queue — that is when the migration shortens
+    // the victim's projected finish instead of just shuffling work. Owned
+    // groups move descriptors only — their coefficient blocks are already
+    // local.
+    NodeState& vic = ns[victim];
+    const SimTime victim_done =
+        vic.t + SimTime::seconds(est * static_cast<double>(vic.pending));
+    const bool owned = owned_by(group, thief);
+    const double bytes = static_cast<double>(sizes[group]) * msg_bytes *
+                         (owned ? policy.owned_bytes_fraction : 1.0);
+    const SimTime cost = steal_cost(group, owned);
+    const SimTime thief_done = thief_finish(me, group, owned);
+    if (!(thief_done < victim_done)) return false;
+
+    // Commit: move the group and charge the migration on the thief's
+    // clock. The request round trip (2 latencies) and the transfer itself
+    // land as kComm spans chained into the thief's causal timeline, so
+    // mh_trace_analyze attributes migration cost like any other phase.
+    vic.queue.erase(std::find(vic.queue.begin(), vic.queue.end(), group));
+    vic.pending -= sizes[group];
+    const NodeTracer tracer = make_tracer(me.cfg, me.track);
+    const SimTime request_done = me.t + config.message_latency +
+                                 config.message_latency;
+    const std::uint64_t req = tracer.span(
+        "steal", obs::Category::kComm, me.t, request_done, {me.chain, 0},
+        {{"victim", static_cast<double>(victim)},
+         {"group", static_cast<double>(group)},
+         {"tasks", static_cast<double>(sizes[group])}});
+    const std::uint64_t mig = tracer.span(
+        "migrate", obs::Category::kComm, request_done, me.t + cost,
+        {req != 0 ? req : me.chain, 0},
+        {{"bytes", bytes}, {"owned", owned ? 1.0 : 0.0}});
+    if (mig != 0) {
+      me.chain = mig;
+    } else if (req != 0) {
+      me.chain = req;
+    }
+    me.breakdown.comm += cost;
+    me.t += cost;
+    me.queue.push_back(group);
+    me.pending += sizes[group];
+    ++out.steals.steals;
+    if (owned) ++out.steals.owned_steals;
+    out.steals.migrated_tasks += sizes[group];
+    out.steals.migrated_bytes += bytes;
+    out.steals.migration_time += cost;
+    return true;
+  };
+
+  while (true) {
+    // Idle (drained) nodes steal before the next group runs, earliest
+    // clock first; each success can unblock further steals, so loop until
+    // no idle node finds a profitable migration.
+    bool progress = true;
+    while (progress && out.steals.steals < cap) {
+      progress = false;
+      std::vector<std::size_t> idle;
+      for (std::size_t i = 0; i < nodes; ++i) {
+        if (ns[i].queue.empty()) idle.push_back(i);
+      }
+      std::sort(idle.begin(), idle.end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (ns[a].t != ns[b].t) return ns[a].t < ns[b].t;
+                  return a < b;
+                });
+      for (const std::size_t i : idle) {
+        if (attempt_steal(i)) {
+          progress = true;
+          break;
+        }
+      }
+    }
+    // Run the next queued group on the node with the earliest clock.
+    std::size_t next = nodes;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      if (!ns[i].queue.empty() && (next == nodes || ns[i].t < ns[next].t)) {
+        next = i;
+      }
+    }
+    if (next == nodes) break;
+    NodeState& n = ns[next];
+    const std::size_t g = n.queue.front();
+    n.queue.pop_front();
+    std::uint64_t last = 0;
+    const SimTime dur = node_run_time(workload, sizes[g], n.cfg,
+                                      &n.breakdown, n.track, &last, n.t,
+                                      n.chain);
+    if (last != 0) n.chain = last;
+    n.t += dur;
+    n.pending -= sizes[g];
+    out.executed[next] += sizes[g];
+  }
+
+  // Comm tails and result assembly. load_imbalance reports the *achieved*
+  // balance (post-migration); slowest_node_comm folds in any migration
+  // cost the slowest node paid as a thief.
+  result.load_imbalance = imbalance(out.executed);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    NodeState& n = ns[i];
+    const std::size_t tasks = out.executed[i];
+    SimTime total = n.t;
+    if (tasks > 0) {
+      const double msgs =
+          static_cast<double>(tasks) * workload.remote_fraction;
+      const SimTime comm =
+          SimTime::seconds(msgs * (config.message_latency.sec() +
+                                   msg_bytes / config.interconnect_bandwidth));
+      make_tracer(n.cfg, n.track)
+          .span("comm", obs::Category::kComm, n.t, n.t + comm, {n.chain, 0});
+      n.breakdown.comm += comm;
+      total = n.t + comm;
+    }
+    result.node_times.push_back(total);
+    if (total > result.makespan) {
+      result.makespan = total;
+      result.slowest_node_compute = total - n.breakdown.comm;
+      result.slowest_node_comm = n.breakdown.comm;
+      result.slowest_breakdown = n.breakdown;
+    }
+  }
+  return out;
 }
 
 }  // namespace mh::cluster

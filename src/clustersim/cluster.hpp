@@ -2,9 +2,18 @@
 //
 // Each node owns the tasks its process map assigned; within a node the run
 // proceeds in batches of `batch_size` compute tasks flowing through the
-// CPU-only, GPU-only, or hybrid path. The cluster makespan is the slowest
-// node plus its communication, mirroring static load balancing: there is no
-// work stealing (the paper's scaling limits come precisely from that).
+// CPU-only, GPU-only, or hybrid path. Two schedulers are provided:
+//
+//   run_cluster_apply          — static load balancing: the cluster makespan
+//                                is the slowest node plus its communication,
+//                                mirroring the paper (its scaling limits
+//                                come precisely from that).
+//   run_cluster_apply_stealing — extension beyond the paper: idle nodes
+//                                migrate whole subtree groups off
+//                                stragglers, paying the steal round trip
+//                                and the coefficient migration in simulated
+//                                time, optionally biased by the DHT owner
+//                                map so coefficient reuse stays local.
 #pragma once
 
 #include <cstddef>
@@ -71,7 +80,7 @@ struct NodeBreakdown {
   SimTime dispatch;     ///< dispatcher thread: staging + pointer tables
   SimTime transfers;    ///< PCIe in + out
   SimTime gpu_kernels;  ///< device kernel span
-  SimTime comm;         ///< remote accumulations
+  SimTime comm;         ///< remote accumulations (and steal migrations)
 
   SimTime total() const noexcept {
     return cpu_compute + host_data + dispatch + transfers + gpu_kernels +
@@ -81,7 +90,11 @@ struct NodeBreakdown {
 
 struct ClusterResult {
   bool feasible = true;
-  std::string note;  ///< set when infeasible (e.g. exceeds GPU RAM)
+  /// True when the schedule contained no tasks at all: makespan 0 and
+  /// load_imbalance 1.0 then mean "nothing ran", not "perfectly balanced"
+  /// — bench sweeps must not gate on an empty schedule.
+  bool empty = false;
+  std::string note;  ///< set when infeasible or empty
   SimTime makespan;
   double load_imbalance = 1.0;
   SimTime slowest_node_compute;
@@ -96,15 +109,77 @@ ClusterResult run_cluster_apply(const Workload& workload,
                                 const ClusterConfig& config);
 
 /// Time of one node processing `tasks` tasks under `config` (exposed for
-/// single-node benches: Tables I and II). `breakdown`, when non-null,
-/// receives the phase profile. `node_track` names the node's trace tracks
-/// when a trace session is attached. `last_span`, when non-null, receives
-/// the id of the node's final causal span (0 if untraced) so follow-up
-/// spans — the comm tail in run_cluster_apply — can chain to it.
+/// single-node benches: Tables I and II); returns the elapsed duration.
+/// `breakdown`, when non-null, receives the phase profile. `node_track`
+/// names the node's trace tracks when a trace session is attached.
+/// `last_span`, when non-null, receives the id of the node's final causal
+/// span (0 if untraced) so follow-up spans — the comm tail in
+/// run_cluster_apply — can chain to it. `start` offsets every recorded
+/// span on the simulated clock and `chain_from` seeds the causal chain:
+/// the steal-enabled scheduler uses both to run one node's groups
+/// back-to-back on a single connected per-rank timeline.
 SimTime node_run_time(const Workload& workload, std::size_t tasks,
                       const ClusterConfig& config,
                       NodeBreakdown* breakdown = nullptr,
                       const std::string& node_track = "node0",
-                      std::uint64_t* last_span = nullptr);
+                      std::uint64_t* last_span = nullptr,
+                      SimTime start = SimTime::zero(),
+                      std::uint64_t chain_from = 0);
+
+/// Knobs of the steal-enabled scheduler.
+struct StealPolicy {
+  enum class Victim {
+    kRandom,          ///< uniform random victim with queued work
+    kLocalityBiased,  ///< prefer groups whose anchor the thief owns
+  };
+  Victim victim = Victim::kLocalityBiased;
+  /// Migration byte fraction charged when the thief already owns the
+  /// group's anchor coefficients in the DHT: only task descriptors cross
+  /// the wire, the coefficient blocks are already local.
+  double owned_bytes_fraction = 0.05;
+  /// Hard cap on migrations (0 = 4x the group count) — a determinism
+  /// backstop, not a tuning knob.
+  std::size_t max_steals = 0;
+  std::uint64_t seed = 0x57ea1ULL;
+
+  /// Defaults overridden from the environment: MH_STEAL_VICTIM
+  /// ("random" | "locality") and MH_STEAL_OWNED_FRACTION (a fraction in
+  /// [0, 1]). Unset or unparsable variables keep the defaults.
+  static StealPolicy from_env();
+};
+
+struct StealStats {
+  std::size_t attempts = 0;      ///< steal requests issued
+  std::size_t steals = 0;        ///< granted migrations
+  std::size_t owned_steals = 0;  ///< thief already owned the coefficients
+  std::size_t migrated_tasks = 0;
+  double migrated_bytes = 0.0;
+  SimTime migration_time;  ///< summed request + migration cost
+};
+
+struct StealScheduleResult {
+  ClusterResult result;  ///< load_imbalance is the *achieved* balance
+  StealStats steals;
+  NodeLoads executed;  ///< tasks actually run per node, post-migration
+};
+
+/// Steal-enabled run. Groups start where `placement` put them; whenever a
+/// node drains its queue it asks a victim for one whole group, and the
+/// migration is granted when the thief finishes the group before the
+/// victim would drain its remaining queue — shortening the victim's
+/// projected finish — even after paying the request round trip plus the
+/// coefficient transfer (group tasks x tensor bytes over
+/// `interconnect_bandwidth`, plus latency) on the simulated clock.
+/// `group_owner`, when non-empty, gives each group's coefficient home rank
+/// (dht::owners_of over the group anchors): the locality-biased policy
+/// steals owned groups first and pays only
+/// `StealPolicy::owned_bytes_fraction` of the bytes for them. Steal and
+/// migration spans land on the thief's "node<i>/phases" track, chained
+/// into its causal span chain, so mh_trace_analyze attributes migration
+/// cost like any other phase.
+StealScheduleResult run_cluster_apply_stealing(
+    const Workload& workload, const GroupMap& placement,
+    const std::vector<std::size_t>& group_owner, const ClusterConfig& config,
+    const StealPolicy& policy = {});
 
 }  // namespace mh::cluster

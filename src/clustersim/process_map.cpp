@@ -1,11 +1,24 @@
 #include "clustersim/process_map.hpp"
 
 #include <algorithm>
+#include <queue>
+#include <utility>
 
 #include "common/diagnostics.hpp"
 #include "common/hash.hpp"
 
 namespace mh::cluster {
+
+NodeLoads GroupMap::loads(const std::vector<std::size_t>& group_sizes) const {
+  MH_CHECK(node_of.size() == group_sizes.size(),
+           "group map / group size arity mismatch");
+  NodeLoads out(nodes, 0);
+  for (std::size_t g = 0; g < node_of.size(); ++g) {
+    MH_CHECK(node_of[g] < nodes, "group assigned to a node out of range");
+    out[node_of[g]] += group_sizes[g];
+  }
+  return out;
+}
 
 NodeLoads even_map(std::size_t total_tasks, std::size_t nodes) {
   MH_CHECK(nodes >= 1, "need at least one node");
@@ -15,31 +28,54 @@ NodeLoads even_map(std::size_t total_tasks, std::size_t nodes) {
   return loads;
 }
 
-NodeLoads locality_map(const std::vector<std::size_t>& group_sizes,
-                       std::size_t nodes, std::uint64_t seed) {
+GroupMap locality_group_map(const std::vector<std::size_t>& group_sizes,
+                            std::size_t nodes, std::uint64_t seed) {
   MH_CHECK(nodes >= 1, "need at least one node");
-  NodeLoads loads(nodes, 0);
+  GroupMap map;
+  map.nodes = nodes;
+  map.node_of.resize(group_sizes.size());
   for (std::size_t g = 0; g < group_sizes.size(); ++g) {
     const std::uint64_t h = hash_combine(mix64(seed), mix64(g));
-    loads[h % nodes] += group_sizes[g];
+    map.node_of[g] = h % nodes;
   }
-  return loads;
+  return map;
 }
 
-NodeLoads lpt_map(const std::vector<std::size_t>& group_sizes,
-                  std::size_t nodes) {
+NodeLoads locality_map(const std::vector<std::size_t>& group_sizes,
+                       std::size_t nodes, std::uint64_t seed) {
+  return locality_group_map(group_sizes, nodes, seed).loads(group_sizes);
+}
+
+GroupMap lpt_group_map(const std::vector<std::size_t>& group_sizes,
+                       std::size_t nodes) {
   MH_CHECK(nodes >= 1, "need at least one node");
   std::vector<std::size_t> order(group_sizes.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return group_sizes[a] > group_sizes[b];
   });
-  NodeLoads loads(nodes, 0);
+  // Min-heap of (load, node): a rescan with min_element would be O(G·N),
+  // quadratic for the steal benches' large group counts. Ties break on the
+  // lowest node index — the same choice the first-minimum scan made, so
+  // assignments are bit-identical to the old implementation.
+  using Slot = std::pair<std::size_t, std::size_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> heap;
+  for (std::size_t n = 0; n < nodes; ++n) heap.emplace(0, n);
+  GroupMap map;
+  map.nodes = nodes;
+  map.node_of.resize(group_sizes.size());
   for (std::size_t g : order) {
-    auto least = std::min_element(loads.begin(), loads.end());
-    *least += group_sizes[g];
+    auto [load, n] = heap.top();
+    heap.pop();
+    map.node_of[g] = n;
+    heap.emplace(load + group_sizes[g], n);
   }
-  return loads;
+  return map;
+}
+
+NodeLoads lpt_map(const std::vector<std::size_t>& group_sizes,
+                  std::size_t nodes) {
+  return lpt_group_map(group_sizes, nodes).loads(group_sizes);
 }
 
 double imbalance(const NodeLoads& loads) {

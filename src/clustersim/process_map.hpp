@@ -6,6 +6,11 @@
 // locality-preserving map that assigns whole subtrees to nodes — which is
 // uneven and the reason scaling in Tables V/VI is sublinear ("the process
 // map assigns more work to some of the nodes").
+//
+// Beyond the aggregate per-node task counts (NodeLoads), the subtree-group
+// maps are also available at group granularity (GroupMap): the steal-enabled
+// scheduler in cluster.hpp migrates whole groups between nodes, so it needs
+// to know *which* groups a node holds, not just how many tasks.
 #pragma once
 
 #include <cstddef>
@@ -17,15 +22,36 @@ namespace mh::cluster {
 /// Load of each cluster node, in tasks.
 using NodeLoads = std::vector<std::size_t>;
 
+/// Per-group placement: group g runs on node node_of[g]. This is the unit
+/// of locality (a whole subtree) and therefore the unit of migration for
+/// the steal-enabled scheduler.
+struct GroupMap {
+  std::size_t nodes = 1;
+  std::vector<std::size_t> node_of;
+
+  /// Aggregate to per-node task counts.
+  NodeLoads loads(const std::vector<std::size_t>& group_sizes) const;
+};
+
 /// Even round-robin of tasks over nodes (paper: "a MADNESS process map that
 /// distributes work evenly among all compute nodes", Tables III/IV).
 NodeLoads even_map(std::size_t total_tasks, std::size_t nodes);
+
+/// Locality map at group granularity: each subtree group is hashed to one
+/// node (the default MADNESS process map).
+GroupMap locality_group_map(const std::vector<std::size_t>& group_sizes,
+                            std::size_t nodes, std::uint64_t seed = 0);
 
 /// Locality map: work arrives as subtree groups (given as per-group task
 /// counts); each group is hashed to one node, so load is uneven and a small
 /// group count starves some nodes (Table V's missing 6 -> 8 node speedup).
 NodeLoads locality_map(const std::vector<std::size_t>& group_sizes,
                        std::size_t nodes, std::uint64_t seed = 0);
+
+/// LPT at group granularity: groups placed largest-first onto the node with
+/// the least assigned work (min-heap, O(G log G + G log N)).
+GroupMap lpt_group_map(const std::vector<std::size_t>& group_sizes,
+                       std::size_t nodes);
 
 /// Extension beyond the paper: a balance-aware static map. Subtree groups
 /// are placed largest-first onto the least-loaded node (classic LPT

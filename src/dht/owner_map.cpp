@@ -1,5 +1,7 @@
 #include "dht/owner_map.hpp"
 
+#include <unordered_set>
+
 #include "common/diagnostics.hpp"
 #include "common/hash.hpp"
 
@@ -24,10 +26,63 @@ SubtreeOwnerMap::SubtreeOwnerMap(std::size_t ranks, int subtree_level,
 }
 
 std::size_t SubtreeOwnerMap::owner(const mra::Key& key) const {
+  return static_cast<std::size_t>(
+      hash_combine(mix64(seed_), anchor_of(key).hash()) % ranks_);
+}
+
+mra::Key SubtreeOwnerMap::anchor_of(const mra::Key& key) const {
   mra::Key anchor = key;
   while (anchor.level() > subtree_level_) anchor = anchor.parent();
-  return static_cast<std::size_t>(hash_combine(mix64(seed_), anchor.hash()) %
-                                  ranks_);
+  return anchor;
+}
+
+int anchor_level(std::size_t ngroups, std::size_t ndim) {
+  MH_CHECK(ngroups >= 1, "need at least one group");
+  MH_CHECK(ndim >= 1, "need at least one dimension");
+  int level = 0;
+  while ((std::size_t{1} << (static_cast<std::size_t>(level) * ndim)) <
+         ngroups) {
+    ++level;
+    MH_CHECK(level < 62, "too many groups for distinct anchors");
+  }
+  return level;
+}
+
+std::vector<mra::Key> subtree_anchors(std::size_t ngroups, std::size_t ndim,
+                                      int level, std::uint64_t seed) {
+  MH_CHECK(level >= anchor_level(ngroups, ndim),
+           "anchor level too shallow for distinct anchors");
+  MH_CHECK(static_cast<std::size_t>(level) * ndim < 62,
+           "anchor level out of range");
+  const std::uint64_t boxes_per_dim = std::uint64_t{1} << level;
+  const std::uint64_t boxes =
+      std::uint64_t{1} << (static_cast<std::size_t>(level) * ndim);
+  std::vector<mra::Key> anchors;
+  anchors.reserve(ngroups);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(ngroups);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    // Seeded hash scatters anchors across the level's grid like an
+    // adaptively refined tree; linear probing resolves collisions so the
+    // anchors stay distinct.
+    std::uint64_t box = hash_combine(mix64(seed), mix64(g)) % boxes;
+    while (!used.insert(box).second) box = (box + 1) % boxes;
+    std::vector<std::int64_t> l(ndim);
+    for (std::size_t d = 0; d < ndim; ++d) {
+      l[d] = static_cast<std::int64_t>(box % boxes_per_dim);
+      box /= boxes_per_dim;
+    }
+    anchors.emplace_back(ndim, level, std::span<const std::int64_t>(l));
+  }
+  return anchors;
+}
+
+std::vector<std::size_t> owners_of(const OwnerMap& map,
+                                   const std::vector<mra::Key>& anchors) {
+  std::vector<std::size_t> owners;
+  owners.reserve(anchors.size());
+  for (const mra::Key& key : anchors) owners.push_back(map.owner(key));
+  return owners;
 }
 
 }  // namespace mh::dht

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "mra/key.hpp"
 
@@ -51,9 +52,31 @@ class SubtreeOwnerMap final : public OwnerMap {
   std::size_t owner(const mra::Key& key) const override;
   int subtree_level() const noexcept { return subtree_level_; }
 
+  /// The level-`subtree_level` ancestor every key of a subtree shares —
+  /// owner(key) == owner(anchor_of(key)) by construction (keys at or above
+  /// the subtree level are their own anchor).
+  mra::Key anchor_of(const mra::Key& key) const;
+
  private:
   int subtree_level_;
   std::uint64_t seed_;
 };
+
+/// Deterministic anchor keys for `ngroups` subtree groups: group g is the
+/// subtree rooted at a distinct level-`level` box whose translation is
+/// mixed from (seed, g). Requires 2^(level*ndim) >= ngroups so anchors are
+/// distinct. These are the keys the clustersim steal policy biases on: a
+/// thief that already owns a group's anchor holds its coefficient blocks.
+std::vector<mra::Key> subtree_anchors(std::size_t ngroups, std::size_t ndim,
+                                      int level, std::uint64_t seed = 0);
+
+/// Smallest level L with 2^(L*ndim) >= ngroups (anchor level for
+/// subtree_anchors).
+int anchor_level(std::size_t ngroups, std::size_t ndim);
+
+/// Owner of each anchor under `map` — the per-group coefficient home the
+/// steal-enabled cluster scheduler prefers to migrate work toward.
+std::vector<std::size_t> owners_of(const OwnerMap& map,
+                                   const std::vector<mra::Key>& anchors);
 
 }  // namespace mh::dht

@@ -18,11 +18,20 @@ World::World(std::size_t ranks, obs::MetricsRegistry* metrics)
       m_send_failures_(metrics_.counter(
           "mh_world_send_failures_total",
           "remote sends dropped after exhausting retries")),
+      m_steal_requests_(metrics_.counter("mh_world_steal_requests_total",
+                                         "steal requests issued")),
+      m_steal_grants_(metrics_.counter(
+          "mh_world_steal_grants_total",
+          "steal requests answered with migrated work")),
+      m_steal_denials_(metrics_.counter(
+          "mh_world_steal_denials_total",
+          "steal requests finding an empty deque")),
       m_dead_ranks_(metrics_.gauge("mh_world_dead_ranks",
                                    "ranks declared permanently dead")),
       faults_(&fault::FaultInjector::global()),
       send_rng_(SendPolicy{}.seed),
-      rank_dead_(ranks, false) {
+      rank_dead_(ranks, false),
+      stealable_(ranks) {
   MH_CHECK(ranks >= 1, "world needs at least one rank");
   pools_.reserve(ranks);
   m_rank_messages_.reserve(ranks);
@@ -200,6 +209,88 @@ void World::send(std::size_t from, std::size_t to, double bytes,
     return;
   }
   enqueue(to, std::move(handler), "task", obs::Category::kCpuCompute);
+}
+
+void World::stealable_push(std::size_t rank, double bytes,
+                           std::function<void()> work) {
+  MH_CHECK(rank < pools_.size(), "rank out of range");
+  MH_CHECK(work != nullptr, "null stealable work");
+  MH_CHECK(bytes >= 0.0, "negative payload");
+  std::scoped_lock lock(mu_);
+  stealable_[rank].push_back({bytes, std::move(work)});
+}
+
+void World::run_stealable(std::size_t rank) {
+  submit(rank, [this, rank] {
+    std::function<void()> work;
+    {
+      std::scoped_lock lock(mu_);
+      auto& queue = stealable_[rank];
+      if (queue.empty()) return;
+      work = std::move(queue.front().work);
+      queue.pop_front();
+    }
+    work();
+    // Re-submit rather than loop: steal requests queued behind this task
+    // get their turn on the rank's thread between items.
+    run_stealable(rank);
+  });
+}
+
+std::size_t World::stealable_pending(std::size_t rank) const {
+  MH_CHECK(rank < pools_.size(), "rank out of range");
+  std::scoped_lock lock(mu_);
+  return stealable_[rank].size();
+}
+
+void World::steal(std::size_t thief, std::size_t victim,
+                  std::function<void(bool)> on_result) {
+  MH_CHECK(thief < pools_.size(), "thief rank out of range");
+  MH_CHECK(victim < pools_.size(), "victim rank out of range");
+  MH_CHECK(thief != victim, "a rank cannot steal from itself");
+  // Steal request and grant/denial are small control messages; the grant
+  // additionally carries the stolen item's migration payload.
+  constexpr double kControlBytes = 64.0;
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.steal_requests;
+  }
+  m_steal_requests_.inc();
+  // The request rides the normal send path, so a dead victim fails fast
+  // here: the handler is dropped and fence() sees the kRankDead error.
+  send(thief, victim, kControlBytes,
+       [this, thief, victim, on_result = std::move(on_result)]() mutable {
+         // Victim's thread: grant the back of the deque or deny.
+         StealItem item;
+         bool granted = false;
+         {
+           std::scoped_lock lock(mu_);
+           auto& queue = stealable_[victim];
+           if (!queue.empty()) {
+             item = std::move(queue.back());
+             queue.pop_back();
+             granted = true;
+             ++stats_.steal_grants;
+           } else {
+             ++stats_.steal_denials;
+           }
+         }
+         if (granted) {
+           m_steal_grants_.inc();
+           send(victim, thief, kControlBytes + item.bytes,
+                [work = std::move(item.work),
+                 on_result = std::move(on_result)] {
+                  work();
+                  if (on_result) on_result(true);
+                });
+         } else {
+           m_steal_denials_.inc();
+           send(victim, thief, kControlBytes,
+                [on_result = std::move(on_result)] {
+                  if (on_result) on_result(false);
+                });
+         }
+       });
 }
 
 void World::fence() {

@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -56,6 +57,37 @@ class World {
   void send(std::size_t from, std::size_t to, double bytes,
             std::function<void()> handler);
 
+  /// Deposit stealable work on `rank`. The work runs on whichever rank
+  /// ends up executing it: the depositor once it pumps its deque with
+  /// run_stealable(), or a thief after a granted steal(). `bytes` is the
+  /// migration payload (coefficient blocks) a steal of this item pays.
+  void stealable_push(std::size_t rank, double bytes,
+                      std::function<void()> work);
+
+  /// Pump `rank`'s stealable deque on its own thread, front first. Each
+  /// item runs as its own task and the pump re-submits itself between
+  /// items, so steal-request active messages arriving mid-drain still find
+  /// queued work to grant.
+  void run_stealable(std::size_t rank);
+
+  /// Items still queued on `rank` (neither run nor stolen yet).
+  std::size_t stealable_pending(std::size_t rank) const;
+
+  /// Ask `victim` for one item of stealable work. The steal-request active
+  /// message runs on the victim's thread: if its deque has work, the back
+  /// item (the coldest — the victim itself drains from the front) comes
+  /// back in a steal-grant message carrying the item's payload bytes, and
+  /// the work executes on the thief's thread; otherwise a small denial
+  /// message comes back. `on_result(granted)` then runs on the thief's
+  /// thread (pass nullptr to ignore). Both legs ride the normal send()
+  /// path, so SendPolicy retries and fault injection apply, and a steal
+  /// from a dead victim fails fast: the handler is dropped, a typed
+  /// fault::FaultError (kRankDead) is recorded for the next fence(), and
+  /// on_result never runs. A granted item whose grant leg dies with the
+  /// thief is dropped with it, like a migration to a failing node.
+  void steal(std::size_t thief, std::size_t victim,
+             std::function<void(bool)> on_result = nullptr);
+
   /// Retry/backoff knobs for remote sends.
   struct SendPolicy {
     std::size_t max_retries = 3;  ///< re-attempts after the first failure
@@ -85,6 +117,9 @@ class World {
     double bytes = 0.0;         ///< payload bytes of remote sends
     std::size_t send_retries = 0;   ///< backoff-delayed re-attempts
     std::size_t send_failures = 0;  ///< sends dropped permanently
+    std::size_t steal_requests = 0;  ///< steal() calls issued
+    std::size_t steal_grants = 0;    ///< requests answered with work
+    std::size_t steal_denials = 0;   ///< requests finding an empty deque
   };
   Stats stats() const;
 
@@ -101,6 +136,9 @@ class World {
   obs::Counter& m_tasks_;
   obs::Counter& m_send_retries_;
   obs::Counter& m_send_failures_;
+  obs::Counter& m_steal_requests_;
+  obs::Counter& m_steal_grants_;
+  obs::Counter& m_steal_denials_;
   obs::Gauge& m_dead_ranks_;
   /// Per-destination-rank active-message counters (label rank=<to>).
   std::vector<obs::Counter*> m_rank_messages_;
@@ -117,6 +155,14 @@ class World {
   fault::FaultInjector* faults_;
   Rng send_rng_;
   std::vector<bool> rank_dead_;
+  // Stealable work deques, one per rank (under mu_: the owner pops the
+  // front on its thread, but any rank's steal-request handler pops the
+  // back and stealable_push may run anywhere).
+  struct StealItem {
+    double bytes = 0.0;
+    std::function<void()> work;
+  };
+  std::vector<std::deque<StealItem>> stealable_;
 };
 
 }  // namespace mh::world

@@ -338,6 +338,230 @@ TEST(Cluster, MergedMultiRankTraceFormsConnectedCausalDag) {
   EXPECT_GE(a.stragglers.front().finish_us, a.stragglers.back().finish_us);
 }
 
+std::size_t sum_of(const std::vector<std::size_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::size_t{0});
+}
+
+TEST(ProcessMap, MapsPreserveTotalTaskCount) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const std::size_t nodes : {3u, 8u, 17u}) {
+      const auto groups = power_law_groups(5000, 40, 1.2, seed);
+      const std::size_t total = sum_of(groups);
+
+      const NodeLoads even = even_map(total, nodes);
+      EXPECT_EQ(sum_of(even), total);
+      const auto [lo, hi] = std::minmax_element(even.begin(), even.end());
+      EXPECT_LE(*hi - *lo, 1u);  // round-robin: within one task
+
+      const NodeLoads loc = locality_map(groups, nodes, seed);
+      EXPECT_EQ(sum_of(loc), total);
+      EXPECT_GE(imbalance(loc), 1.0);
+
+      const NodeLoads lpt = lpt_map(groups, nodes);
+      EXPECT_EQ(sum_of(lpt), total);
+      EXPECT_GE(imbalance(lpt), 1.0);
+      // LPT bound: the worst node carries at most ideal + largest group.
+      const std::size_t largest =
+          *std::max_element(groups.begin(), groups.end());
+      const double ideal =
+          static_cast<double>(total) / static_cast<double>(nodes);
+      EXPECT_LE(static_cast<double>(
+                    *std::max_element(lpt.begin(), lpt.end())),
+                ideal + static_cast<double>(largest));
+      // LPT never balances worse than the locality hash.
+      EXPECT_LE(imbalance(lpt), imbalance(loc) + 1e-12);
+    }
+  }
+}
+
+TEST(ProcessMap, LptHeapMatchesReferenceScan) {
+  // The min-heap rewrite must reproduce the original first-minimum
+  // linear-scan assignment exactly (ties break on the lowest node index).
+  for (const std::uint64_t seed : {4u, 5u, 6u}) {
+    const auto groups = power_law_groups(9000, 64, 1.6, seed);
+    const std::size_t nodes = 7;
+    std::vector<std::size_t> order(groups.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return groups[a] > groups[b];
+              });
+    NodeLoads ref_loads(nodes, 0);
+    std::vector<std::size_t> ref_node(groups.size());
+    for (const std::size_t g : order) {
+      const auto least =
+          std::min_element(ref_loads.begin(), ref_loads.end());
+      ref_node[g] = static_cast<std::size_t>(least - ref_loads.begin());
+      *least += groups[g];
+    }
+    const GroupMap map = lpt_group_map(groups, nodes);
+    EXPECT_EQ(map.node_of, ref_node);
+    EXPECT_EQ(map.loads(groups), ref_loads);
+  }
+}
+
+TEST(Cluster, EmptyScheduleIsMarkedExplicitly) {
+  const Workload w = make_workload("empty", kSmall3d, 100, 4, 1.0, 6);
+  const auto r = run_cluster_apply(w, NodeLoads(4, 0),
+                                   base_config(4, ComputeMode::kCpuOnly));
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.empty);
+  EXPECT_EQ(r.note, "empty schedule: no tasks");
+  EXPECT_DOUBLE_EQ(r.makespan.sec(), 0.0);
+  EXPECT_DOUBLE_EQ(r.load_imbalance, 1.0);
+  ASSERT_EQ(r.node_times.size(), 4u);
+  for (const SimTime t : r.node_times) EXPECT_DOUBLE_EQ(t.sec(), 0.0);
+
+  // A run with work is not marked.
+  const auto busy = run_cluster_apply(w, even_map(w.tasks, 4),
+                                      base_config(4, ComputeMode::kCpuOnly));
+  EXPECT_FALSE(busy.empty);
+  EXPECT_TRUE(busy.note.empty());
+
+  // The steal-enabled scheduler marks the same condition.
+  Workload wz = w;
+  wz.tasks = 0;
+  wz.group_sizes.assign(4, 0);
+  GroupMap gm;
+  gm.nodes = 4;
+  gm.node_of = {0, 1, 2, 3};
+  const auto rz = run_cluster_apply_stealing(
+      wz, gm, {}, base_config(4, ComputeMode::kCpuOnly));
+  EXPECT_TRUE(rz.result.empty);
+  EXPECT_EQ(rz.result.note, "empty schedule: no tasks");
+  EXPECT_EQ(rz.steals.steals, 0u);
+}
+
+TEST(Cluster, EmptyRankEmitsNoOrphanCommSpan) {
+  // Regression: a rank with zero tasks used to be eligible for a comm
+  // span chained to parent 0 at t=0 — an orphan component in the merged
+  // causal DAG. An idle rank must contribute no spans at all.
+  const Workload w = make_workload("orphan", kSmall3d, 600, 8, 1.0, 10);
+  auto cfg = base_config(3, ComputeMode::kHybrid);
+  cfg.cpu_compute_threads = 15;
+  obs::TraceSession r0, r1, r2;
+  cfg.node_traces = {&r0, &r1, &r2};
+  const NodeLoads loads = {400, 200, 0};  // rank 2 has nothing to do
+  const auto result = run_cluster_apply(w, loads, cfg);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_FALSE(result.empty);
+  EXPECT_DOUBLE_EQ(result.node_times[2].sec(), 0.0);
+  EXPECT_EQ(r2.span_count(), 0u);
+
+  std::stringstream ss;
+  obs::write_merged_chrome_trace(
+      ss, {{"rank0", &r0}, {"rank1", &r1}, {"rank2", &r2}});
+  obs::ReadTrace trace;
+  std::string error;
+  ASSERT_TRUE(obs::read_chrome_trace(ss, &trace, &error)) << error;
+  std::size_t comm_spans = 0, probes = 0;
+  for (const obs::ReadSpan& s : trace.spans) {
+    if (s.name == "probe") ++probes;
+    if (s.name != "comm") continue;
+    ++comm_spans;
+    EXPECT_GT(s.dur_us, 0.0);  // no zero-length comm stubs
+  }
+  EXPECT_EQ(comm_spans, 2u);  // one per rank that did work
+  EXPECT_EQ(probes, 2u);      // idle rank never probed either
+  const obs::TraceAnalysis a = obs::analyze_trace(trace);
+  // Two working ranks' chains plus their probe markers — the empty rank
+  // adds no orphan component.
+  EXPECT_LE(a.connected_components, 2u + probes);
+}
+
+TEST(ClusterSteal, SkewedRunBeatsStaticLocalityMap) {
+  const Workload w = make_workload("steal", kSmall3d, 20000, 48, 1.8, 11);
+  const auto cfg = base_config(16, ComputeMode::kCpuOnly);
+  const GroupMap gm = locality_group_map(w.group_sizes, 16);
+  const auto st = run_cluster_apply(w, gm.loads(w.group_sizes), cfg);
+  ASSERT_TRUE(st.feasible);
+  ASSERT_GT(st.load_imbalance, 1.2);  // the premise: a real straggler
+
+  const auto dyn = run_cluster_apply_stealing(w, gm, {}, cfg);
+  ASSERT_TRUE(dyn.result.feasible);
+  EXPECT_FALSE(dyn.result.empty);
+  EXPECT_EQ(sum_of(dyn.executed), w.tasks);  // nothing lost or duplicated
+  EXPECT_GT(dyn.steals.steals, 0u);
+  EXPECT_GE(dyn.steals.attempts, dyn.steals.steals);
+  EXPECT_GT(dyn.steals.migrated_tasks, 0u);
+  EXPECT_LT(dyn.result.makespan.sec(), st.makespan.sec());
+  EXPECT_LT(dyn.result.load_imbalance, st.load_imbalance);
+
+  // The discrete-event schedule is deterministic.
+  const auto again = run_cluster_apply_stealing(w, gm, {}, cfg);
+  EXPECT_DOUBLE_EQ(again.result.makespan.sec(), dyn.result.makespan.sec());
+  EXPECT_EQ(again.steals.steals, dyn.steals.steals);
+  EXPECT_EQ(again.executed, dyn.executed);
+}
+
+TEST(ClusterSteal, LocalityBiasStealsOwnedGroupsCheaper) {
+  const Workload w = make_workload("bias", kSmall3d, 20000, 48, 1.8, 11);
+  auto cfg = base_config(16, ComputeMode::kCpuOnly);
+  cfg.interconnect_bandwidth = 2e8;  // make coefficient migration pricey
+  const GroupMap gm = locality_group_map(w.group_sizes, 16);
+  // Every group's coefficient home: a different rank than its placement
+  // often enough that owned steals exist.
+  std::vector<std::size_t> owner(w.group_sizes.size());
+  for (std::size_t g = 0; g < owner.size(); ++g) owner[g] = g % 16;
+
+  StealPolicy biased;
+  const auto with_bias = run_cluster_apply_stealing(w, gm, owner, cfg, biased);
+  StealPolicy random_pol;
+  random_pol.victim = StealPolicy::Victim::kRandom;
+  const auto no_bias =
+      run_cluster_apply_stealing(w, gm, owner, cfg, random_pol);
+
+  ASSERT_GT(with_bias.steals.steals, 0u);
+  EXPECT_GT(with_bias.steals.owned_steals, 0u);
+  // The biased policy moves cheaper bytes per migrated task: owned groups
+  // ship descriptors, not coefficients.
+  ASSERT_GT(no_bias.steals.migrated_tasks, 0u);
+  const double biased_rate =
+      with_bias.steals.migrated_bytes /
+      static_cast<double>(with_bias.steals.migrated_tasks);
+  const double random_rate = no_bias.steals.migrated_bytes /
+                             static_cast<double>(no_bias.steals.migrated_tasks);
+  EXPECT_LT(biased_rate, random_rate);
+  EXPECT_LE(with_bias.result.makespan.sec(),
+            no_bias.result.makespan.sec() * 1.001);
+}
+
+TEST(ClusterSteal, StealTraceFormsConnectedDagWithMigrationSpans) {
+  const Workload w = make_workload("steal-trace", kSmall3d, 4000, 12, 1.8, 13);
+  auto cfg = base_config(4, ComputeMode::kCpuOnly);
+  obs::TraceSession r0, r1, r2, r3;
+  cfg.node_traces = {&r0, &r1, &r2, &r3};
+  const GroupMap gm = locality_group_map(w.group_sizes, 4);
+  std::vector<std::size_t> owner(w.group_sizes.size());
+  for (std::size_t g = 0; g < owner.size(); ++g) owner[g] = g % 4;
+  const auto dyn = run_cluster_apply_stealing(w, gm, owner, cfg);
+  ASSERT_TRUE(dyn.result.feasible);
+  ASSERT_GT(dyn.steals.steals, 0u);
+
+  std::stringstream ss;
+  obs::write_merged_chrome_trace(
+      ss, {{"rank0", &r0}, {"rank1", &r1}, {"rank2", &r2}, {"rank3", &r3}});
+  obs::ReadTrace trace;
+  std::string error;
+  ASSERT_TRUE(obs::read_chrome_trace(ss, &trace, &error)) << error;
+  std::size_t steal_spans = 0, migrate_spans = 0;
+  for (const obs::ReadSpan& s : trace.spans) {
+    if (s.name == "steal") ++steal_spans;
+    if (s.name == "migrate") ++migrate_spans;
+  }
+  EXPECT_EQ(steal_spans, dyn.steals.steals);
+  EXPECT_EQ(migrate_spans, dyn.steals.steals);
+
+  const obs::TraceAnalysis a = obs::analyze_trace(trace);
+  EXPECT_TRUE(a.sim_domain);
+  // Steal/migrate spans chain into their thief's timeline: still at most
+  // one causal component per rank (CPU-only: no probe markers).
+  EXPECT_LE(a.connected_components, cfg.nodes);
+  EXPECT_NEAR(a.critical.total_us(), a.makespan_us(),
+              0.01 * a.makespan_us());
+  EXPECT_LE(a.makespan_us(), dyn.result.makespan.sec() * 1e6 + 1.0);
+}
+
 TEST(Cluster, RejectsMismatchedLoadVector) {
   const Workload w = make_workload("bad", kSmall3d, 100, 4, 1.0, 9);
   EXPECT_THROW(

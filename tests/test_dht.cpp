@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <set>
 
 #include "apps/coulomb.hpp"
 #include "common/diagnostics.hpp"
@@ -56,6 +57,63 @@ TEST(OwnerMaps, RejectZeroRanks) {
   EXPECT_THROW(HashOwnerMap(0), Error);
   EXPECT_THROW(SubtreeOwnerMap(0, 2), Error);
   EXPECT_THROW(SubtreeOwnerMap(4, -1), Error);
+}
+
+TEST(OwnerMaps, AnyKeyOwnedLikeItsSubtreeAncestor) {
+  // Property: for random keys at random depths, owner(key) equals
+  // owner(ancestor at the subtree level), and anchor_of names exactly that
+  // ancestor.
+  SubtreeOwnerMap map(11, /*subtree_level=*/3, 77);
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t ndim = 1 + rng.below(3);
+    const int level = 3 + static_cast<int>(rng.below(6));
+    std::vector<std::int64_t> l(ndim);
+    for (auto& t : l) {
+      t = static_cast<std::int64_t>(rng.below(std::uint64_t{1} << level));
+    }
+    const mra::Key key(ndim, level, l);
+    mra::Key ancestor = key;
+    while (ancestor.level() > 3) ancestor = ancestor.parent();
+    EXPECT_EQ(map.anchor_of(key).hash(), ancestor.hash());
+    EXPECT_EQ(map.owner(key), map.owner(ancestor));
+  }
+}
+
+TEST(OwnerMaps, SubtreeAnchorsAreDistinctAndInGrid) {
+  const std::size_t ngroups = 48;
+  const std::size_t ndim = 3;
+  const int level = anchor_level(ngroups, ndim) + 1;
+  const auto anchors = subtree_anchors(ngroups, ndim, level, 9);
+  ASSERT_EQ(anchors.size(), ngroups);
+  std::set<std::uint64_t> hashes;
+  for (const mra::Key& a : anchors) {
+    EXPECT_EQ(a.level(), level);
+    EXPECT_EQ(a.ndim(), ndim);
+    for (std::size_t d = 0; d < ndim; ++d) {
+      EXPECT_GE(a.translation(d), 0);
+      EXPECT_LT(a.translation(d), std::int64_t{1} << level);
+    }
+    hashes.insert(a.hash());
+  }
+  EXPECT_EQ(hashes.size(), ngroups);  // all distinct
+  // Deterministic for a seed, different across seeds.
+  const auto again = subtree_anchors(ngroups, ndim, level, 9);
+  EXPECT_EQ(anchors[5].hash(), again[5].hash());
+
+  // Owner glue: one home rank per group, all in range.
+  const auto owners = owners_of(HashOwnerMap(8, 3), anchors);
+  ASSERT_EQ(owners.size(), ngroups);
+  for (const std::size_t o : owners) EXPECT_LT(o, 8u);
+}
+
+TEST(OwnerMaps, AnchorLevelIsMinimal) {
+  EXPECT_EQ(anchor_level(1, 3), 0);
+  EXPECT_EQ(anchor_level(8, 3), 1);
+  EXPECT_EQ(anchor_level(9, 3), 2);
+  EXPECT_EQ(anchor_level(1000, 1), 10);
+  // A level too shallow to give every group a distinct anchor is rejected.
+  EXPECT_THROW(subtree_anchors(10, 1, 2), Error);
 }
 
 TEST(DistributedMap, PutFindRoundTrip) {

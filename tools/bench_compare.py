@@ -38,8 +38,11 @@ def load_records(directory):
 
 def entries(record):
     """Yield (key, value, direction, gated, feasible) for scalars and the
-    p50 of measures."""
+    p50 of measures. Entries without a name (malformed or hand-edited
+    records) are skipped rather than crashing the comparison."""
     for s in record.get("scalars", []):
+        if not isinstance(s, dict) or "name" not in s:
+            continue
         yield (
             "scalar:" + s["name"],
             s.get("value"),
@@ -48,6 +51,8 @@ def entries(record):
             bool(s.get("feasible", True)),
         )
     for m in record.get("measures", []):
+        if not isinstance(m, dict) or "name" not in m:
+            continue
         yield (
             "measure:" + m["name"] + ":p50",
             m.get("p50"),
@@ -72,8 +77,15 @@ def compare(bench, base, cur, threshold, zero_epsilon, zero_tolerance):
     failures = []
     rows = []
     cur_map = {k: (v, d, g, f) for k, v, d, g, f in entries(cur)}
+    base_keys = set()
     for key, base_val, direction, gated, base_feasible in entries(base):
+        base_keys.add(key)
         if not gated:
+            # Ungated baseline entries missing from the current run are
+            # still worth a report line — a renamed scalar should be
+            # visible, not silent — they just cannot fail the comparison.
+            if key not in cur_map:
+                rows.append((bench, key, base_val, None, "missing", "info"))
             continue
         if key not in cur_map:
             failures.append(f"{bench}: gated entry {key} missing from current run")
@@ -126,6 +138,12 @@ def compare(bench, base, cur, threshold, zero_epsilon, zero_tolerance):
             )
         rows.append((bench, key, base_val, cur_val, delta_pct,
                      "FAIL" if worse else "ok"))
+    # Entries the current run produced that the baseline has never seen:
+    # report them (a new scalar needs a refreshed baseline before it can
+    # gate) instead of dropping them on the floor.
+    for key, (cur_val, _, _, _) in sorted(cur_map.items()):
+        if key not in base_keys:
+            rows.append((bench, key, None, cur_val, "new", "info"))
     return failures, rows
 
 
@@ -166,7 +184,12 @@ def write_markdown(path, rows, failures, compared, nbenches, threshold):
     for bench, key, base_val, cur_val, delta, status in rows:
         base_s = "-" if base_val is None else f"{base_val:.6g}"
         cur_s = "-" if cur_val is None else f"{cur_val:.6g}"
-        badge = ":x: FAIL" if status == "FAIL" else ":white_check_mark: ok"
+        if status == "FAIL":
+            badge = ":x: FAIL"
+        elif status == "info":
+            badge = ":information_source: info"
+        else:
+            badge = ":white_check_mark: ok"
         lines.append(f"| {bench} | `{key}` | {base_s} | {cur_s} | {delta} "
                      f"| {badge} |")
     if failures:
