@@ -1,5 +1,6 @@
 #include "bench_harness.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -9,7 +10,13 @@
 
 #include "common/diagnostics.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+extern char** environ;
+#endif
 
 namespace mh::bench {
 namespace {
@@ -64,6 +71,84 @@ const char* direction_str(Direction d) {
   return d == Direction::kLowerIsBetter ? "lower" : "higher";
 }
 
+// --- provenance -------------------------------------------------------------
+// Every BENCH_*.json records where its numbers came from, so
+// tools/bench_compare.py can warn instead of silently comparing records
+// from different machines/compilers/ISA tiers.
+
+std::string prov_git_sha() {
+  // CI exports the exact commit; local builds fall back to the SHA CMake
+  // saw at configure time (may be stale against the working tree).
+  if (const char* sha = std::getenv("GITHUB_SHA")) {
+    if (*sha != '\0') return sha;
+  }
+#ifdef MH_GIT_SHA
+  return MH_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::string prov_compiler() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string prov_cpu() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos &&
+        line.compare(0, 10, "model name") == 0) {
+      const std::size_t start = line.find_first_not_of(" \t", colon + 1);
+      return start == std::string::npos ? "unknown" : line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+// The ISA tier the batch-GEMM engine's runtime dispatch would pick here.
+std::string prov_dispatch() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx512f")) return "avx512";
+  if (__builtin_cpu_supports("avx2")) return "avx2";
+  return "portable";
+#else
+  return "portable";
+#endif
+}
+
+std::string prov_hostname() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {};
+  if (gethostname(buf, sizeof buf - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  return "unknown";
+}
+
+// Every MH_* variable in the environment: fault specs, steal policy
+// overrides, trace/metrics destinations — anything that changes behaviour.
+std::vector<std::pair<std::string, std::string>> prov_mh_env() {
+  std::vector<std::pair<std::string, std::string>> out;
+#if defined(__unix__) || defined(__APPLE__)
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const std::string_view entry = *e;
+    if (!entry.starts_with("MH_")) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) continue;
+    out.emplace_back(entry.substr(0, eq), entry.substr(eq + 1));
+  }
+  std::sort(out.begin(), out.end());
+#endif
+  return out;
+}
+
 }  // namespace
 
 Harness::Harness(std::string name, int argc, char** argv)
@@ -98,6 +183,10 @@ Harness::Harness(std::string name, int argc, char** argv)
   }
   if (repeats_ < 1) usage_error(name_, "--repeats must be >= 1");
   if (warmup_ < 0) usage_error(name_, "--warmup must be >= 0");
+  // Honor MH_FLIGHT_RECORDER in every bench: the bounded recorder arms
+  // before any engine work so a later fault (or a CI re-run after a gate
+  // failure) leaves a dumpable trace behind. No-op when unset.
+  obs::FlightRecorder::arm_from_env();
 }
 
 void Harness::scalar(const std::string& name, double value,
@@ -151,7 +240,19 @@ int Harness::finish() {
   } else {
     os << "null";
   }
-  os << ",\n  \"scalars\": [";
+  os << ",\n  \"provenance\": {\n"
+     << "    \"git_sha\": \"" << json_escape(prov_git_sha()) << "\",\n"
+     << "    \"compiler\": \"" << json_escape(prov_compiler()) << "\",\n"
+     << "    \"cpu\": \"" << json_escape(prov_cpu()) << "\",\n"
+     << "    \"dispatch\": \"" << json_escape(prov_dispatch()) << "\",\n"
+     << "    \"hostname\": \"" << json_escape(prov_hostname()) << "\",\n"
+     << "    \"mh_env\": {";
+  const auto mh_env = prov_mh_env();
+  for (std::size_t i = 0; i < mh_env.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(mh_env[i].first) << "\": \""
+       << json_escape(mh_env[i].second) << "\"";
+  }
+  os << "}\n  },\n  \"scalars\": [";
   for (std::size_t i = 0; i < scalars_.size(); ++i) {
     const ScalarRec& r = scalars_[i];
     os << (i ? ",\n    " : "\n    ") << "{\"name\": \"" << json_escape(r.name)

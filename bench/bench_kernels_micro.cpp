@@ -17,6 +17,8 @@
 #include "gpusim/kernels.hpp"
 #include "linalg/batch_gemm.hpp"
 #include "linalg/gemm.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 #include "tensor/transform.hpp"
 
@@ -152,6 +154,54 @@ int run(int argc, char** argv) {
       Tensor r = gpu::custom_fused_compute(source, views, coeffs);
       (void)r;
     });
+  }
+
+  // Flight-recorder overhead: the packed mTxm k=10 loop, bare vs with one
+  // recorded span per task-sized block of work (~16 GEMMs, tens of µs —
+  // the granularity the runtime actually wraps spans around) into a
+  // bounded ring-buffer session. The recorded path pays span mint +
+  // lock-free append, and — once the smallest ring fills — the chunk
+  // recycle path too. The ratio gates the "<3% median overhead" promise of
+  // always-on recording (the CI gate allows wall-clock jitter on top).
+  {
+    const std::size_t k = 10, rows = k * k;
+    Rng rng(h.seed_or(5));
+    std::vector<double> a(k * rows), b(k * k), c(rows * k, 0.0);
+    for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+    for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+    const std::size_t per_span = 16;
+    const std::size_t blocks = h.quick() ? 128 : 512;
+    const SampleSummary off = h.measure("mTxm_k10_recorder_off", [&] {
+      for (std::size_t blk = 0; blk < blocks; ++blk) {
+        for (std::size_t i = 0; i < per_span; ++i) {
+          linalg::mTxm(rows, k, k, c.data(), a.data(), b.data());
+        }
+      }
+    });
+    obs::FlightRecorder rec({.path = "",
+                             .spans_per_thread = 1024,
+                             .install_as_current = false,
+                             .dump_at_exit = false,
+                             .dump_on_fault = false});
+    obs::TraceSession& s = rec.session();
+    const SampleSummary on = h.measure("mTxm_k10_recorder_on", [&] {
+      for (std::size_t blk = 0; blk < blocks; ++blk) {
+        obs::ScopedSpan span(&s, "task", obs::Category::kCpuCompute);
+        for (std::size_t i = 0; i < per_span; ++i) {
+          linalg::mTxm(rows, k, k, c.data(), a.data(), b.data());
+        }
+      }
+    });
+    const double ratio = off.p50 > 0.0 ? on.p50 / off.p50 : 1.0;
+    t.add_row({"flight_recorder_overhead", fmt(ratio, 4) + "x",
+               fmt((ratio - 1.0) * 100.0, 2) + "%",
+               fmt(static_cast<double>(s.dropped_spans()), 0) + " dropped"});
+    h.scalar("flight_recorder_overhead_ratio", ratio, "x",
+             Direction::kLowerIsBetter, /*gate=*/true);
+    if (ratio > 1.03) {
+      std::cout << "note: flight-recorder overhead " << fmt(ratio, 4)
+                << "x exceeds the 3% design target on this host\n";
+    }
   }
 
   t.print(std::cout);

@@ -4,8 +4,17 @@
 #include <cstdlib>
 
 #include "common/hash.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace mh::fault {
+
+FaultError::FaultError(ErrorCode code, const std::string& what)
+    : std::runtime_error(what), code_(code) {
+  // Black-box hook: the first FaultError of the process dumps the armed
+  // flight recorder (no-op when MH_FLIGHT_RECORDER is unset).
+  obs::FlightRecorder::note_failure(error_code_name(code), what.c_str());
+}
+
 namespace {
 
 constexpr std::array<const char*, kFaultSiteCount> kSiteNames = {
@@ -96,6 +105,11 @@ FaultInjector& FaultInjector::global() {
     if (const char* spec = std::getenv("MH_FAULTS"); spec != nullptr) {
       injector->configure(spec);
     }
+    // Arm the flight recorder alongside the injector: any binary that
+    // honors MH_FAULTS (benches, examples, embedders) then also honors
+    // MH_FLIGHT_RECORDER, and the recorder is armed before the first
+    // injected FaultError can fire. No-op when the env var is unset.
+    obs::FlightRecorder::arm_from_env();
     return injector;
   }();
   return *instance;

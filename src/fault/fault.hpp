@@ -80,10 +80,13 @@ const char* error_code_name(ErrorCode code) noexcept;
 
 /// The typed exception every injected (or derived) fault surfaces as.
 /// Callers can dispatch on code() instead of string-matching what().
+/// Construction notifies the flight recorder (obs/flight_recorder.hpp):
+/// when MH_FLIGHT_RECORDER is armed, the first FaultError of the process
+/// dumps the ring buffer so the failure's lead-up is captured even if the
+/// error is later absorbed by a retry or the circuit breaker.
 class FaultError : public std::runtime_error {
  public:
-  FaultError(ErrorCode code, const std::string& what)
-      : std::runtime_error(what), code_(code) {}
+  FaultError(ErrorCode code, const std::string& what);
   ErrorCode code() const noexcept { return code_; }
 
  private:

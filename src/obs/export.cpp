@@ -153,6 +153,12 @@ void write_prometheus(std::ostream& os,
       os << "\n";
       os << name << "_count" << prometheus_label_block(s.labels) << " "
          << s.hist.count << "\n";
+      // Pre-computed tail estimate (log-bucket interpolation) as its own
+      // untyped series: the exposition format reserves {quantile=...} for
+      // summaries, so a sibling _p999 name keeps scrapers happy.
+      os << name << "_p999" << prometheus_label_block(s.labels) << " ";
+      format_number(os, s.hist.p999());
+      os << "\n";
     } else {
       os << name << prometheus_label_block(s.labels) << " ";
       format_number(os, s.value);
@@ -197,6 +203,8 @@ void write_json(std::ostream& os,
       format_number(os, s.hist.min);
       os << ",\"max\":";
       format_number(os, s.hist.max);
+      os << ",\"p999\":";
+      format_number(os, s.hist.p999());
       os << ",\"buckets\":[";
       bool first_bucket = true;
       for (std::size_t i = 0; i < kHistogramBuckets; ++i) {

@@ -86,6 +86,14 @@ struct HistogramSnapshot {
   double min = 0.0;  ///< meaningless while count == 0
   double max = 0.0;
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  /// Quantile estimate by linear interpolation inside the log bucket the
+  /// rank lands in, clamped to [min, max] (the bucket bounds are powers of
+  /// two, so the clamp tightens the estimate at the extremes). q outside
+  /// [0, 1] is clamped; returns 0 while count == 0.
+  double quantile(double q) const noexcept;
+  /// The serving-SLO tail estimate the exporters publish.
+  double p999() const noexcept { return quantile(0.999); }
 };
 
 /// Log-bucketed distribution; observe() is a handful of relaxed RMWs.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace mh::obs {
@@ -11,6 +12,10 @@ namespace {
 
 std::atomic<std::uint64_t> g_next_session_id{1};
 std::atomic<TraceSession*> g_current{nullptr};
+// 0 = MH_FLIGHT_RECORDER not yet checked, 1 = arming, 2 = done. A plain
+// flag (not a magic static) so arm_from_env()'s own re-entrant current()
+// calls cannot deadlock the initialization.
+std::atomic<int> g_env_arm_state{0};
 
 // One process-global id counter for spans *and* tasks: ids stay unique even
 // when several per-rank sessions are merged into one trace file.
@@ -118,27 +123,30 @@ struct TraceSession::ThreadBuf {
     }
   }
 
-  void append(const Span& span) {
-    Chunk* c = tail;  // tail is written only by the owning thread
-    std::size_t n = c->used.load(std::memory_order_relaxed);
-    if (n == Chunk::kCapacity) {
-      Chunk* fresh = new Chunk;
-      c->next.store(fresh, std::memory_order_release);
-      tail = c = fresh;
-      n = 0;
-    }
-    c->spans[n] = span;
-    c->used.store(n + 1, std::memory_order_release);
-  }
-
   std::uint32_t thread_track;
-  Chunk* head = nullptr;  // immutable after construction
+  Chunk* head = nullptr;  // ring mode: rotated under the session's mu_
   Chunk* tail = nullptr;  // owning thread only
+  std::size_t nchunks = 1;       // owning thread only
+  std::uint64_t dropped = 0;     // written by owner under mu_, read under mu_
 };
 
-TraceSession::TraceSession()
+TraceSession::TraceSession() : TraceSession(0) {}
+
+TraceSession::TraceSession(std::size_t ring_spans_per_thread)
     : id_(g_next_session_id.fetch_add(1, std::memory_order_relaxed)),
-      origin_us_(wall_now_us()) {}
+      origin_us_(wall_now_us()),
+      ring_chunk_cap_(
+          ring_spans_per_thread == 0
+              ? 0
+              : std::max<std::size_t>(
+                    2, (ring_spans_per_thread + Chunk::kCapacity - 1) /
+                           Chunk::kCapacity)) {
+  if (ring_chunk_cap_ != 0) {
+    dropped_counter_ = &MetricsRegistry::global().counter(
+        "mh_trace_dropped_spans_total",
+        "spans evicted by ring-buffer (flight recorder) trace sessions");
+  }
+}
 
 TraceSession::~TraceSession() {
   if (g_current.load(std::memory_order_relaxed) == this) {
@@ -147,6 +155,18 @@ TraceSession::~TraceSession() {
 }
 
 TraceSession* TraceSession::current() noexcept {
+  // The first ambient-session query arms the env-configured flight
+  // recorder (no-op when MH_FLIGHT_RECORDER is unset), so every binary
+  // that follows the ambient pickup convention honors the env contract —
+  // regardless of which subsystem initializes first. Re-entrant calls
+  // from arm_from_env() itself see state != 0 and fall through.
+  int expected = 0;
+  if (g_env_arm_state.load(std::memory_order_acquire) == 0 &&
+      g_env_arm_state.compare_exchange_strong(expected, 1,
+                                              std::memory_order_acq_rel)) {
+    FlightRecorder::arm_from_env();
+    g_env_arm_state.store(2, std::memory_order_release);
+  }
   return g_current.load(std::memory_order_acquire);
 }
 
@@ -199,7 +219,53 @@ std::uint32_t TraceSession::thread_track() {
   return track_id;
 }
 
-void TraceSession::record(const Span& span) { local_buffer(nullptr).append(span); }
+void TraceSession::record(const Span& span) {
+  ThreadBuf& buf = local_buffer(nullptr);
+  Chunk* c = buf.tail;  // tail is written only by the owning thread
+  std::size_t n = c->used.load(std::memory_order_relaxed);
+  if (n == Chunk::kCapacity) {
+    if (ring_chunk_cap_ != 0 && buf.nchunks >= ring_chunk_cap_) {
+      // Ring mode at capacity: recycle the oldest chunk instead of
+      // allocating. mu_ serialises the rotation against readers (which
+      // hold mu_ for their whole walk), so a reader never observes the
+      // unlinked chunk half-reset; once re-linked as the empty tail the
+      // normal release/acquire protocol on `used` covers it again. One
+      // lock per 512 spans — the per-span fast path stays lock-free.
+      std::scoped_lock lock(mu_);
+      Chunk* oldest = buf.head;
+      buf.head = oldest->next.load(std::memory_order_relaxed);
+      const std::uint64_t evicted =
+          oldest->used.load(std::memory_order_relaxed);
+      buf.dropped += evicted;
+      oldest->used.store(0, std::memory_order_relaxed);
+      oldest->next.store(nullptr, std::memory_order_relaxed);
+      c->next.store(oldest, std::memory_order_release);
+      buf.tail = c = oldest;
+      if (dropped_counter_ != nullptr) {
+        dropped_counter_->inc(static_cast<double>(evicted));
+      }
+    } else {
+      Chunk* fresh = new Chunk;
+      c->next.store(fresh, std::memory_order_release);
+      buf.tail = c = fresh;
+      ++buf.nchunks;
+    }
+    n = 0;
+  }
+  c->spans[n] = span;
+  c->used.store(n + 1, std::memory_order_release);
+}
+
+std::uint64_t TraceSession::dropped_spans() const {
+  std::scoped_lock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_) total += buf->dropped;
+  return total;
+}
+
+std::size_t TraceSession::ring_capacity_spans() const noexcept {
+  return ring_chunk_cap_ * Chunk::kCapacity;
+}
 
 void TraceSession::record_sim(std::uint32_t track_id, const char* name,
                               Category cat, SimTime start, SimTime end,
@@ -400,6 +466,21 @@ void write_merged_chrome_trace(std::ostream& os,
     json_escape(os,
                 label.empty() ? "simulated-time" : label + " simulated-time");
     os << "\"}}";
+
+    // Truncation signal: spans evicted by ring-buffer recycling. Emitted
+    // only when non-zero so unbounded sessions keep the historical file
+    // shape; trace_reader sums these into ReadTrace::dropped_spans and
+    // mh_trace_analyze --check refuses to attribute a truncated trace.
+    {
+      std::uint64_t dropped = 0;
+      for (const auto& buf : session->buffers_) dropped += buf->dropped;
+      if (dropped != 0) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << wall_pid
+           << ",\"name\":\"mh_dropped_spans\",\"args\":{\"value\":" << dropped
+           << "}}";
+      }
+    }
 
     std::vector<const char*> subsystem(session->tracks_.size(), "pool");
     for (const TrackInfo& t : session->tracks_) {

@@ -52,6 +52,8 @@
 
 namespace mh::obs {
 
+class Counter;  // metrics.hpp
+
 /// Span categories — the phases of the paper's batching data path (§II-A,
 /// Figure 3) plus communication.
 enum class Category : std::uint8_t {
@@ -145,6 +147,16 @@ struct RankedSession;
 class TraceSession {
  public:
   TraceSession();
+  /// Bounded ("flight recorder") mode: each thread keeps only the most
+  /// recent ~`ring_spans_per_thread` spans — the budget is rounded up to
+  /// whole 512-span chunks (minimum two), and once a thread owns its full
+  /// complement of chunks the oldest chunk is recycled in place instead of
+  /// allocating. Every span evicted this way is counted: dropped_spans()
+  /// is exact (recorded == kept + dropped), the process-wide
+  /// `mh_trace_dropped_spans_total` counter tracks it, and the merged
+  /// Chrome export carries it as metadata so readers can detect a
+  /// truncated trace. 0 keeps the historical unbounded behaviour.
+  explicit TraceSession(std::size_t ring_spans_per_thread);
   ~TraceSession();
 
   TraceSession(const TraceSession&) = delete;
@@ -205,6 +217,13 @@ class TraceSession {
   std::vector<TrackInfo> tracks() const;
   std::size_t span_count() const;
 
+  /// Spans evicted by ring-buffer recycling, summed over threads. Always 0
+  /// for an unbounded session. Exact: every record() either remains
+  /// visible to snapshot() or is counted here.
+  std::uint64_t dropped_spans() const;
+  /// Per-thread span capacity in ring mode (whole chunks); 0 = unbounded.
+  std::size_t ring_capacity_spans() const noexcept;
+
   /// Chrome trace_event JSON (chrome://tracing, Perfetto). Wall-clock
   /// tracks under pid 1, simulated-time tracks under pid 2. Spans with
   /// causal identity additionally carry mh_id/mh_parent/mh_task args and
@@ -228,6 +247,10 @@ class TraceSession {
 
   const std::uint64_t id_;      // process-unique, for thread-local caching
   const double origin_us_;
+  // Ring mode: max chunks per thread (0 = unbounded) and the process-wide
+  // dropped-span counter, resolved once at construction.
+  const std::size_t ring_chunk_cap_;
+  Counter* dropped_counter_ = nullptr;
 
   mutable std::mutex mu_;       // registry: buffers + tracks
   std::vector<std::unique_ptr<ThreadBuf>> buffers_;

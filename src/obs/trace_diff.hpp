@@ -1,0 +1,94 @@
+// Differential critical-path analysis — regression attribution between two
+// traces of the same workload.
+//
+// When a perf gate says "this bench got 18% slower", the number names the
+// symptom; the evidence lives in the traces. diff_traces() runs the
+// critical-path analyzer (obs/critical_path.hpp) over a baseline and a
+// current trace of the same workload and attributes the makespan delta
+// hierarchically:
+//
+//   1. which *phase* grew — the per-category + wait critical-path
+//      attribution of each trace telescopes to its makespan, so the
+//      entry-wise difference telescopes to the makespan delta exactly;
+//   2. whether it was *compute vs wait vs comm* (rollup of 1);
+//   3. which *ranks* carry the delta (per-process finish/busy times);
+//   4. which *task classes* (span names) grew, by total busy time;
+//   5. whether the critical path *re-routed* — the (category, rank)
+//      composition of the two paths is compared as a distribution; low
+//      overlap means the bottleneck moved, not just stretched.
+//
+// Reports: ranked human-readable text, JSON, and a GitHub-flavoured
+// markdown table (what CI posts into GITHUB_STEP_SUMMARY on a gate
+// failure). Consumed by tools/mh_trace_diff.cpp.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/critical_path.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace mh::obs {
+
+/// One aligned row of the diff: a phase, rank, or task class with its
+/// baseline/current contributions.
+struct DiffEntry {
+  std::string name;
+  double base_us = 0.0;
+  double cur_us = 0.0;
+  std::uint64_t base_count = 0;  ///< spans (classes) — 0 where meaningless
+  std::uint64_t cur_count = 0;
+
+  double delta_us() const noexcept { return cur_us - base_us; }
+};
+
+struct TraceDiff {
+  TraceAnalysis base;  ///< full analysis of the baseline trace
+  TraceAnalysis cur;   ///< full analysis of the current trace
+  std::uint64_t base_dropped = 0;  ///< truncation signals (ReadTrace)
+  std::uint64_t cur_dropped = 0;
+
+  double makespan_delta_us() const noexcept {
+    return cur.makespan_us() - base.makespan_us();
+  }
+
+  /// Critical-path attribution per phase category plus "wait", ranked by
+  /// |delta|. The deltas sum to makespan_delta_us() (each side telescopes).
+  std::vector<DiffEntry> phases;
+  /// Rollup of `phases` into compute / wait / comm.
+  std::vector<DiffEntry> groups;
+  /// Per-rank finish time (base_us/cur_us = finish since origin), ranked by
+  /// |delta|; counts carry the rank's span totals.
+  std::vector<DiffEntry> ranks;
+  /// Per span-name busy time in the analyzed domain, ranked by |delta|.
+  std::vector<DiffEntry> classes;
+
+  /// Overlap of the two critical paths' (category, rank) time composition
+  /// in [0, 1]: 1 = same route, 0 = disjoint.
+  double path_similarity = 1.0;
+  /// True when the path composition moved more than it stretched
+  /// (similarity < 0.5): the bottleneck re-routed.
+  bool rerouted = false;
+
+  /// Sanity: |sum of phase deltas| / |makespan delta| (1.0 when both
+  /// analyses telescope; guarded by mh_trace_diff --check).
+  double attributed_fraction = 1.0;
+};
+
+/// Align and attribute. Both traces should come from the same workload
+/// (same bench, same tier); the result is meaningful but noisier otherwise.
+TraceDiff diff_traces(const ReadTrace& base, const ReadTrace& cur);
+
+/// Ranked human-readable report.
+void write_diff(std::ostream& os, const TraceDiff& d);
+/// Machine-readable report (stable key names).
+void write_diff_json(std::ostream& os, const TraceDiff& d);
+/// GitHub-flavoured markdown attribution table; `title` heads the section
+/// (e.g. the regressed bench name).
+void write_diff_markdown(std::ostream& os, const TraceDiff& d,
+                         std::string_view title);
+
+}  // namespace mh::obs

@@ -341,6 +341,8 @@ bool read_chrome_trace(std::istream& is, ReadTrace* out, std::string* error) {
         out->process_names[pid] = std::string(name);
       } else if (kind == "thread_name") {
         out->thread_names[{pid, tid}] = std::string(name);
+      } else if (kind == "mh_dropped_spans") {
+        out->dropped_spans += static_cast<std::uint64_t>(a.num("value"));
       }
     }
   }

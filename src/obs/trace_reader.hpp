@@ -57,6 +57,10 @@ struct ReadTrace {
   std::vector<ReadFlow> flows;
   std::map<int, std::string> process_names;                 ///< pid -> name
   std::map<std::pair<int, int>, std::string> thread_names;  ///< (pid,tid)
+  /// Spans evicted by ring-buffer (flight recorder) sessions before export,
+  /// summed over ranks ("mh_dropped_spans" metadata). Non-zero means the
+  /// trace is truncated and critical-path attribution is unreliable.
+  std::uint64_t dropped_spans = 0;
 
   /// Causal edges (producer span id -> consumer span id), one per flow
   /// start event.

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -17,7 +19,10 @@
 #include "gpusim/device.hpp"
 #include "gpusim/pinned.hpp"
 #include "mra/function.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
 #include "ops/apply.hpp"
 #include "runtime/batching.hpp"
 #include "runtime/thread_pool.hpp"
@@ -596,6 +601,72 @@ TEST(WorldFaults, StealFromDeadVictimFailsFast) {
   EXPECT_EQ(w.stats().send_retries, retries);
   EXPECT_EQ(w.stealable_pending(0), 1u);
   EXPECT_EQ(w.stats().steal_grants, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder on the failure path: the first FaultError of the process
+// dumps the armed recorder's ring, so a crashed/degraded run leaves the
+// trace of what led up to it behind. (Each gtest case runs in its own
+// process under ctest, so arming the global recorder here is isolated.)
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderFaultPath, FirstFaultErrorDumpsArmedRecorder) {
+  const std::string path = ::testing::TempDir() + "/mh_fault_flight.json";
+  std::remove(path.c_str());
+  obs::FlightRecorder::Config rc;
+  rc.path = path;
+  rc.spans_per_thread = 2048;
+  rc.install_as_current = false;  // engines below get the session explicitly
+  rc.dump_at_exit = false;
+  obs::FlightRecorder* rec = obs::FlightRecorder::arm(rc);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(obs::FlightRecorder::armed(), rec);
+  EXPECT_EQ(rec->dump_count(), 0u);
+
+  // Lead-up evidence the dump must preserve.
+  {
+    obs::ScopedSpan span(&rec->session(), "lead-up",
+                         obs::Category::kPreprocess);
+  }
+
+  // A breaker-open run under MH_FAULTS="gpu_kernel:p=1": every GPU attempt
+  // throws a FaultError inside the engine; the CPU fallback still completes
+  // the work, and the *first* FaultError constructor dumps the recorder.
+  FaultInjector fi(11);
+  fi.configure("gpu_kernel:p=1");
+  auto cfg = chaos_config(&fi, nullptr);
+  cfg.gpu_max_retries = 1;
+  cfg.breaker_threshold = 2;
+  cfg.breaker_cooldown = 10s;
+  Engine engine(cfg);
+  std::atomic<int> done{0};
+  const rt::KindId kind = engine.register_kind(
+      {[](const int& x) { return x + 1; },
+       [](std::span<const int> xs) {
+         std::vector<int> out;
+         for (int x : xs) out.push_back(x + 1);
+         return out;
+       },
+       [&done](int&&) { ++done; },
+       6});
+  for (int i = 0; i < 64; ++i) engine.submit(kind, i);
+  ASSERT_NO_THROW(engine.wait());
+  EXPECT_EQ(done.load(), 64);
+  ASSERT_GE(engine.stats().gpu_failures, 1u);
+
+  // Exactly one fault dump despite many FaultErrors (first failure wins).
+  EXPECT_EQ(rec->dump_count(), 1u);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good()) << "fault dump missing at " << path;
+  obs::ReadTrace trace;
+  std::string error;
+  ASSERT_TRUE(obs::read_chrome_trace(is, &trace, &error)) << error;
+  bool lead_up = false;
+  for (const obs::ReadSpan& s : trace.spans) {
+    if (s.name == "lead-up") lead_up = true;
+  }
+  EXPECT_TRUE(lead_up) << "dump lost the pre-fault spans";
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

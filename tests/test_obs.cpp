@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -20,9 +21,11 @@
 #include "gpusim/gpu_executor.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_diff.hpp"
 #include "obs/trace_reader.hpp"
 #include "runtime/batching.hpp"
 #include "runtime/thread_pool.hpp"
@@ -834,6 +837,285 @@ TEST(Sampler, StopRunsOneFinalProbePass) {
   EXPECT_EQ(sampler.ticks(), 1u);
   sampler.stop();  // idempotent: no thread to join, no extra tick
   EXPECT_EQ(runs.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Ring-buffer (flight recorder) trace sessions
+
+TEST(FlightRing, WrapKeepsNewestSpansAndCountsDropsExactly) {
+  TraceSession session(1024);  // exactly two 512-span chunks
+  EXPECT_EQ(session.ring_capacity_spans(), 1024u);
+  const auto track = session.track(ClockDomain::kSim, "node0/t");
+  // 5000 spans through a 1024-span ring: chunks rotate whole, so the
+  // arithmetic is exact — ceil((5000-1024)/512) = 8 rotations drop
+  // 8*512 = 4096 spans, keeping the newest 904.
+  for (int i = 0; i < 5000; ++i) {
+    session.record_sim(track, "tick", Category::kCpuCompute,
+                       SimTime::micros(i), SimTime::micros(i + 1));
+  }
+  EXPECT_EQ(session.dropped_spans(), 4096u);
+  EXPECT_EQ(session.span_count(), 904u);
+  // The survivors are precisely the most recent spans (starts 4096..4999),
+  // not an arbitrary subset.
+  double min_start = 1e300, max_start = -1.0;
+  for (const Span& s : session.snapshot()) {
+    min_start = std::min(min_start, s.start_us);
+    max_start = std::max(max_start, s.start_us);
+  }
+  EXPECT_DOUBLE_EQ(min_start, 4096.0);
+  EXPECT_DOUBLE_EQ(max_start, 4999.0);
+}
+
+TEST(FlightRing, TinyAndZeroBudgetsClampSanely) {
+  // Budgets below one chunk still get the two-chunk minimum; 0 stays
+  // unbounded and never drops.
+  TraceSession tiny(1);
+  EXPECT_EQ(tiny.ring_capacity_spans(), 2 * 512u);
+  TraceSession unbounded(0);
+  EXPECT_EQ(unbounded.ring_capacity_spans(), 0u);
+  const auto track = unbounded.track(ClockDomain::kSim, "t");
+  for (int i = 0; i < 3000; ++i) {
+    unbounded.record_sim(track, "tick", Category::kOther, SimTime::micros(i),
+                         SimTime::micros(i + 1));
+  }
+  EXPECT_EQ(unbounded.dropped_spans(), 0u);
+  EXPECT_EQ(unbounded.span_count(), 3000u);
+}
+
+TEST(FlightRing, DropAccountingIsExactUnderMultiThreadChurn) {
+  Counter& global =
+      MetricsRegistry::global().counter("mh_trace_dropped_spans_total");
+  const double before = global.value();
+  TraceSession session(1024);
+  constexpr int kThreads = 4, kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&session] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ScopedSpan span(&session, "churn", Category::kCpuCompute);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every record() either survived into the snapshot or was counted as
+  // dropped — nothing lost, nothing double-counted, on any interleaving.
+  const std::uint64_t total = kThreads * kPerThread;
+  EXPECT_EQ(session.span_count() + session.dropped_spans(), total);
+  EXPECT_GT(session.dropped_spans(), 0u);
+  // Each thread's ring holds at most its capacity.
+  EXPECT_LE(session.span_count(),
+            static_cast<std::size_t>(kThreads) *
+                session.ring_capacity_spans());
+  // The process-wide counter advanced by exactly this session's drops.
+  EXPECT_DOUBLE_EQ(global.value(),
+                   before + static_cast<double>(session.dropped_spans()));
+}
+
+TEST(FlightRing, DroppedSpanMetadataSurvivesExportAndRead) {
+  TraceSession session(1024);
+  const auto track = session.track(ClockDomain::kSim, "node0/t");
+  for (int i = 0; i < 3000; ++i) {
+    session.record_sim(track, "tick", Category::kCpuCompute,
+                       SimTime::micros(i), SimTime::micros(i + 1));
+  }
+  ASSERT_GT(session.dropped_spans(), 0u);
+  std::stringstream ss;
+  session.write_chrome_trace(ss);
+  EXPECT_TRUE(JsonChecker(ss.str()).valid()) << ss.str().substr(0, 400);
+  ReadTrace trace;
+  std::string error;
+  ASSERT_TRUE(read_chrome_trace(ss, &trace, &error)) << error;
+  EXPECT_EQ(trace.dropped_spans, session.dropped_spans());
+  EXPECT_EQ(trace.spans.size(), session.span_count());
+}
+
+TEST(FlightRecorderTest, DumpWritesLoadableTraceAndCounts) {
+  const std::string path = ::testing::TempDir() + "/mh_flight_dump.json";
+  FlightRecorder rec({.path = path,
+                      .spans_per_thread = 1024,
+                      .install_as_current = false,
+                      .dump_at_exit = false,
+                      .dump_on_fault = false});
+  ASSERT_EQ(rec.session().ring_capacity_spans(), 1024u);
+  for (int i = 0; i < 2000; ++i) {
+    ScopedSpan span(&rec.session(), "work", Category::kCpuCompute);
+  }
+  EXPECT_EQ(rec.dump_count(), 0u);
+  ASSERT_TRUE(rec.dump("test"));
+  EXPECT_EQ(rec.dump_count(), 1u);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  ReadTrace trace;
+  std::string error;
+  ASSERT_TRUE(read_chrome_trace(is, &trace, &error)) << error;
+  EXPECT_EQ(trace.spans.size(), rec.session().span_count());
+  EXPECT_EQ(trace.dropped_spans, rec.session().dropped_spans());
+  EXPECT_GT(trace.dropped_spans, 0u);
+  std::remove(path.c_str());
+
+  // A recorder with no destination refuses to dump (and says so).
+  FlightRecorder mute({.path = "",
+                       .spans_per_thread = 1024,
+                       .install_as_current = false,
+                       .dump_at_exit = false,
+                       .dump_on_fault = false});
+  EXPECT_FALSE(mute.dump("test"));
+  EXPECT_EQ(mute.dump_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential critical-path analysis (trace_diff)
+
+// Build the canonical three-span chain pre -> compute -> post on one sim
+// track, with the compute span stretched by `extra_us` and everything after
+// it shifted right — the shape of a real "one phase got slower" regression.
+ReadTrace synthetic_trace(double extra_us) {
+  TraceSession session;
+  const auto track = session.track(ClockDomain::kSim, "node0/phases");
+  const std::uint64_t pre = session.record_sim_linked(
+      track, "pre", Category::kPreprocess, SimTime::micros(0),
+      SimTime::micros(10), {});
+  const std::uint64_t mid = session.record_sim_linked(
+      track, "compute", Category::kCpuCompute, SimTime::micros(20),
+      SimTime::micros(50 + extra_us), {pre, pre});
+  session.record_sim_linked(track, "post", Category::kPostprocess,
+                            SimTime::micros(50 + extra_us),
+                            SimTime::micros(60 + extra_us), {mid, pre});
+  std::stringstream ss;
+  session.write_chrome_trace(ss);
+  ReadTrace trace;
+  std::string error;
+  EXPECT_TRUE(read_chrome_trace(ss, &trace, &error)) << error;
+  return trace;
+}
+
+TEST(TraceDiffTest, RecoversInjectedPhaseDeltaWithSign) {
+  const ReadTrace base = synthetic_trace(0.0);
+  const ReadTrace cur = synthetic_trace(30.0);
+  const TraceDiff d = diff_traces(base, cur);
+
+  EXPECT_NEAR(d.makespan_delta_us(), 30.0, 1e-6);
+  EXPECT_EQ(d.base_dropped, 0u);
+  EXPECT_EQ(d.cur_dropped, 0u);
+  // >= 90% of the makespan delta lands on the phase that actually grew,
+  // with the right sign; the untouched phases stay near zero.
+  double compute_delta = 0.0, others = 0.0, sum = 0.0;
+  for (const DiffEntry& e : d.phases) {
+    sum += e.delta_us();
+    if (e.name == category_name(Category::kCpuCompute)) {
+      compute_delta = e.delta_us();
+    } else {
+      others += std::abs(e.delta_us());
+    }
+  }
+  EXPECT_GE(compute_delta, 0.9 * 30.0);
+  EXPECT_LT(others, 0.1 * 30.0);
+  // The phase deltas telescope to the makespan delta.
+  EXPECT_NEAR(sum, d.makespan_delta_us(), 1e-6);
+  EXPECT_NEAR(d.attributed_fraction, 1.0, 1e-6);
+  // Ranked by |delta|: the grown phase leads the report.
+  ASSERT_FALSE(d.phases.empty());
+  EXPECT_EQ(d.phases.front().name, category_name(Category::kCpuCompute));
+  // Stretched, not re-routed: same chain, same track.
+  EXPECT_FALSE(d.rerouted);
+  EXPECT_GT(d.path_similarity, 0.5);
+
+  // An improvement attributes with a negative sign.
+  const TraceDiff rev = diff_traces(cur, base);
+  EXPECT_NEAR(rev.makespan_delta_us(), -30.0, 1e-6);
+  double rev_compute = 0.0;
+  for (const DiffEntry& e : rev.phases) {
+    if (e.name == category_name(Category::kCpuCompute)) {
+      rev_compute = e.delta_us();
+    }
+  }
+  EXPECT_LE(rev_compute, -0.9 * 30.0);
+}
+
+TEST(TraceDiffTest, GroupsRanksAndClassesCarryTheDelta) {
+  const TraceDiff d = diff_traces(synthetic_trace(0.0), synthetic_trace(30.0));
+  // Rollup: the delta is compute, not wait or comm.
+  double compute = 0.0, wait = 0.0, comm = 0.0;
+  for (const DiffEntry& e : d.groups) {
+    if (e.name == "compute") compute = e.delta_us();
+    if (e.name == "wait") wait = e.delta_us();
+    if (e.name == "comm") comm = e.delta_us();
+  }
+  EXPECT_NEAR(compute, 30.0, 1e-6);
+  EXPECT_NEAR(wait, 0.0, 1e-6);
+  EXPECT_NEAR(comm, 0.0, 1e-6);
+  // The single rank carries the full finish-time delta.
+  ASSERT_FALSE(d.ranks.empty());
+  EXPECT_NEAR(d.ranks.front().delta_us(), 30.0, 1e-6);
+  // The "compute" task class grew by the injected amount.
+  double class_delta = 0.0;
+  for (const DiffEntry& e : d.classes) {
+    if (e.name == "compute") class_delta = e.delta_us();
+  }
+  EXPECT_NEAR(class_delta, 30.0, 1e-6);
+}
+
+TEST(TraceDiffTest, ReportsAreWellFormed) {
+  const TraceDiff d = diff_traces(synthetic_trace(0.0), synthetic_trace(30.0));
+  std::ostringstream json;
+  write_diff_json(json, d);
+  EXPECT_TRUE(JsonChecker(json.str()).valid()) << json.str().substr(0, 400);
+  EXPECT_NE(json.str().find("\"attributed_fraction\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"phases\""), std::string::npos);
+
+  std::ostringstream text;
+  write_diff(text, d);
+  EXPECT_NE(text.str().find("makespan"), std::string::npos);
+  EXPECT_NE(text.str().find(category_name(Category::kCpuCompute)),
+            std::string::npos);
+
+  std::ostringstream md;
+  write_diff_markdown(md, d, "bench_example");
+  EXPECT_NE(md.str().find("Regression attribution: bench_example"),
+            std::string::npos);
+  EXPECT_NE(md.str().find("| phase |"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram tail quantile (p999)
+
+TEST(Metrics, HistogramQuantileInterpolatesAndClamps) {
+  MetricsRegistry reg;
+  Histogram& empty = reg.histogram("empty");
+  EXPECT_DOUBLE_EQ(empty.snapshot().p999(), 0.0);
+
+  // A single observation: every quantile is that value (clamped to
+  // [min, max] past the interpolation).
+  Histogram& one = reg.histogram("one");
+  one.observe(7.0);
+  EXPECT_DOUBLE_EQ(one.snapshot().quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(one.snapshot().p999(), 7.0);
+
+  // A spread: quantiles are monotone in q, bounded by [min, max], and the
+  // tail estimate sits above the bulk.
+  Histogram& h = reg.histogram("spread");
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const HistogramSnapshot s = h.snapshot();
+  const double p50 = s.quantile(0.5);
+  const double p999 = s.p999();
+  EXPECT_LE(p50, p999);
+  EXPECT_GE(p999, 900.0);
+  EXPECT_LE(p999, 1000.0);
+  EXPECT_GE(p50, s.min);
+  EXPECT_LE(s.quantile(1.0), s.max);
+  EXPECT_GE(s.quantile(0.0), 0.0);
+}
+
+TEST(Export, P999AppearsInBothExporters) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat_us", "latency");
+  h.observe(10.0);
+  h.observe(2000.0);
+  const std::string prom = prometheus_text(reg);
+  EXPECT_NE(prom.find("lat_us_p999 "), std::string::npos);
+  const std::string json = json_snapshot(reg);
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
 }
 
 TEST(Metrics, GpusimPublishesOccupancyAndCacheHitRatio) {

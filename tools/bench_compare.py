@@ -62,6 +62,45 @@ def entries(record):
         )
 
 
+# Output-destination variables: they name files, not behaviour, so a
+# mismatch (baseline generated without MH_METRICS, CI running with it) is
+# not worth a warning.
+_PROV_ENV_IGNORED = {"MH_METRICS", "MH_TRACE", "MH_FLIGHT_RECORDER"}
+
+
+def provenance_warnings(bench, base, cur):
+    """Warning rows for records produced on different machines/compilers.
+
+    The harness embeds a `provenance` object (git SHA, compiler, CPU model,
+    ISA dispatch tier, hostname, MH_* env) in every record; comparing
+    records from different machines is legal but the report must say so
+    instead of letting a 20% "regression" from a slower CI host pass as
+    signal. git_sha is recorded but not compared — it differs on every
+    commit by construction.
+    """
+    rows = []
+    bprov = base.get("provenance")
+    cprov = cur.get("provenance")
+    if not isinstance(bprov, dict) or not isinstance(cprov, dict):
+        return rows  # pre-provenance record: nothing to check
+    for key in ("compiler", "cpu", "dispatch", "hostname"):
+        bval, cval = bprov.get(key, "?"), cprov.get(key, "?")
+        if bval != cval:
+            rows.append((bench, f"provenance:{key}", bval, cval,
+                         "mismatch", "warn"))
+    benv = bprov.get("mh_env") or {}
+    cenv = cprov.get("mh_env") or {}
+    if isinstance(benv, dict) and isinstance(cenv, dict):
+        for key in sorted(set(benv) | set(cenv)):
+            if key in _PROV_ENV_IGNORED:
+                continue
+            bval, cval = benv.get(key, "<unset>"), cenv.get(key, "<unset>")
+            if bval != cval:
+                rows.append((bench, f"provenance:mh_env:{key}", bval, cval,
+                             "mismatch", "warn"))
+    return rows
+
+
 def compare(bench, base, cur, threshold, zero_epsilon, zero_tolerance):
     """Compare one bench record pair.
 
@@ -147,6 +186,15 @@ def compare(bench, base, cur, threshold, zero_epsilon, zero_tolerance):
     return failures, rows
 
 
+def fmt_value(v):
+    """Table cell for a numeric entry value or a provenance string."""
+    if v is None:
+        return "-"
+    if isinstance(v, str):
+        return v if len(v) <= 40 else v[:37] + "..."
+    return f"{v:.6g}"
+
+
 def print_table(rows):
     """Render the per-entry delta table for every gated entry."""
     header = ("bench", "entry", "baseline", "current", "delta", "status")
@@ -155,8 +203,8 @@ def print_table(rows):
         fmt_rows.append((
             bench,
             key,
-            "-" if base_val is None else f"{base_val:.6g}",
-            "-" if cur_val is None else f"{cur_val:.6g}",
+            fmt_value(base_val),
+            fmt_value(cur_val),
             delta,
             status,
         ))
@@ -182,12 +230,14 @@ def write_markdown(path, rows, failures, compared, nbenches, threshold):
     lines += ["", "| bench | entry | baseline | current | delta | status |",
               "|---|---|---:|---:|---:|---|"]
     for bench, key, base_val, cur_val, delta, status in rows:
-        base_s = "-" if base_val is None else f"{base_val:.6g}"
-        cur_s = "-" if cur_val is None else f"{cur_val:.6g}"
+        base_s = fmt_value(base_val)
+        cur_s = fmt_value(cur_val)
         if status == "FAIL":
             badge = ":x: FAIL"
         elif status == "info":
             badge = ":information_source: info"
+        elif status == "warn":
+            badge = ":warning: warn"
         else:
             badge = ":white_check_mark: ok"
         lines.append(f"| {bench} | `{key}` | {base_s} | {cur_s} | {delta} "
@@ -217,6 +267,12 @@ def main():
     parser.add_argument("--zero-tolerance", type=float, default=1e-6,
                         help="allowed absolute drift for near-zero "
                              "baselines (default 1e-6)")
+    parser.add_argument("--regressed-out", metavar="PATH",
+                        help="write the names of benches with gated "
+                             "regressions to PATH, one per line — CI uses "
+                             "this to re-run exactly the regressed benches "
+                             "with the flight recorder armed and attribute "
+                             "the delta via mh_trace_diff")
     args = parser.parse_args()
 
     baselines = load_records(args.baseline)
@@ -229,19 +285,33 @@ def main():
     failures = []
     all_rows = []
     compared = 0
+    regressed_benches = []
+    nwarnings = 0
     for bench, base in sorted(baselines.items()):
         if bench not in currents:
             failures.append(f"{bench}: no current BENCH record produced")
+            regressed_benches.append(bench)
             continue
+        prov_rows = provenance_warnings(bench, base, currents[bench])
+        nwarnings += len(prov_rows)
         fails, rows = compare(bench, base, currents[bench], args.threshold,
                               args.zero_epsilon, args.zero_tolerance)
         gated = sum(1 for _, _, _, g, _ in entries(base) if g)
         compared += gated
         status = "FAIL" if fails else "ok"
+        prov_note = f", {len(prov_rows)} provenance warnings" if prov_rows \
+            else ""
         print(f"{bench}: {gated} gated entries, {len(fails)} regressions "
-              f"[{status}]")
+              f"[{status}]{prov_note}")
         failures.extend(fails)
+        if fails:
+            regressed_benches.append(bench)
+        all_rows.extend(prov_rows)
         all_rows.extend(rows)
+    if nwarnings:
+        print(f"warning: {nwarnings} provenance mismatch(es) — baseline and "
+              f"current records were not produced on the same "
+              f"machine/compiler/env (see the 'warn' rows)")
     for bench in sorted(set(currents) - set(baselines)):
         print(f"{bench}: new bench (no baseline) — skipped")
 
@@ -251,6 +321,9 @@ def main():
     if args.markdown:
         write_markdown(args.markdown, all_rows, failures, compared,
                        len(baselines), args.threshold)
+    if args.regressed_out:
+        with open(args.regressed_out, "w") as f:
+            f.write("".join(b + "\n" for b in sorted(set(regressed_benches))))
 
     print(f"\ncompared {compared} gated entries across "
           f"{len(baselines)} benches, threshold "

@@ -44,6 +44,21 @@ int main(int argc, char** argv) {
     std::cerr << "mh_trace_analyze: " << error << "\n";
     return 2;
   }
+  if (trace.dropped_spans != 0) {
+    // A ring-buffer (flight recorder) session evicted spans before export:
+    // the earliest history is gone, so a critical path walked over what
+    // remains would attribute the makespan to the wrong phases. Loud
+    // warning always; hard failure under --check.
+    std::cerr << "mh_trace_analyze: WARNING: truncated trace — "
+              << trace.dropped_spans
+              << " spans were dropped by the recorder ring buffer\n";
+    if (check) {
+      std::cerr << "check FAILED: refusing to attribute a truncated trace "
+                   "(re-run with a larger MH_FLIGHT_RECORDER_SPANS or "
+                   "unbounded MH_TRACE)\n";
+      return 1;
+    }
+  }
   const mh::obs::TraceAnalysis analysis = mh::obs::analyze_trace(trace);
   std::cout << "trace: " << path << "\n";
   mh::obs::write_analysis(std::cout, trace, analysis);

@@ -1,0 +1,132 @@
+// mh_trace_diff: differential critical-path analysis between two Chrome
+// traces of the same workload (baseline vs current), attributing the
+// makespan delta to phases / ranks / task classes and detecting
+// critical-path re-routes. This is the tool CI runs when a bench_compare
+// perf gate fails: the attribution table — not just the regressed number —
+// lands in GITHUB_STEP_SUMMARY.
+//
+// Usage: mh_trace_diff <baseline.json> <current.json>
+//                      [--json PATH] [--markdown PATH] [--title NAME]
+//                      [--check]
+//
+//   --json PATH      also write the machine-readable report to PATH
+//   --markdown PATH  append a GitHub-flavoured attribution table to PATH
+//                    (pass "$GITHUB_STEP_SUMMARY" in CI)
+//   --title NAME     heading for the markdown section (default: the
+//                    current trace's filename)
+//   --check          exit non-zero unless the phase deltas telescope to the
+//                    makespan delta within 1% and neither input is
+//                    truncated — the self-test mode used by tests
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/trace_diff.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: mh_trace_diff <baseline.json> <current.json> [--json PATH] "
+        "[--markdown PATH] [--title NAME] [--check]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* paths[2] = {nullptr, nullptr};
+  std::string json_out, markdown_out, title;
+  bool check = false;
+  int npaths = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "mh_trace_diff: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json_out = value();
+    } else if (arg == "--markdown") {
+      markdown_out = value();
+    } else if (arg == "--title") {
+      title = value();
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else if (npaths < 2) {
+      paths[npaths++] = argv[i];
+    } else {
+      std::cerr << "unexpected argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (npaths != 2) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  mh::obs::ReadTrace base, cur;
+  std::string error;
+  if (!mh::obs::read_chrome_trace_file(paths[0], &base, &error)) {
+    std::cerr << "mh_trace_diff: " << paths[0] << ": " << error << "\n";
+    return 2;
+  }
+  if (!mh::obs::read_chrome_trace_file(paths[1], &cur, &error)) {
+    std::cerr << "mh_trace_diff: " << paths[1] << ": " << error << "\n";
+    return 2;
+  }
+
+  const mh::obs::TraceDiff diff = mh::obs::diff_traces(base, cur);
+  std::cout << "baseline: " << paths[0] << "\ncurrent:  " << paths[1]
+            << "\n";
+  mh::obs::write_diff(std::cout, diff);
+
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) {
+      std::cerr << "mh_trace_diff: cannot write " << json_out << "\n";
+      return 2;
+    }
+    mh::obs::write_diff_json(os, diff);
+  }
+  if (!markdown_out.empty()) {
+    std::ofstream os(markdown_out, std::ios::app);
+    if (!os) {
+      std::cerr << "mh_trace_diff: cannot write " << markdown_out << "\n";
+      return 2;
+    }
+    if (title.empty()) {
+      const std::string p = paths[1];
+      const std::size_t slash = p.find_last_of('/');
+      title = slash == std::string::npos ? p : p.substr(slash + 1);
+    }
+    mh::obs::write_diff_markdown(os, diff, title);
+  }
+
+  if (check) {
+    if (base.dropped_spans != 0 || cur.dropped_spans != 0) {
+      std::cerr << "check FAILED: truncated input (dropped spans: baseline "
+                << base.dropped_spans << ", current " << cur.dropped_spans
+                << ")\n";
+      return 1;
+    }
+    const double mk_delta = std::abs(diff.makespan_delta_us());
+    if (mk_delta > 1e-6 &&
+        std::abs(diff.attributed_fraction - 1.0) > 0.01) {
+      std::cerr << "check FAILED: phase deltas attribute "
+                << diff.attributed_fraction
+                << " of the makespan delta (expected 1 within 1%)\n";
+      return 1;
+    }
+    std::cout << "\ncheck OK: attribution telescopes to the makespan "
+                 "delta\n";
+  }
+  return 0;
+}
