@@ -3,18 +3,56 @@
 #include <utility>
 
 #include "common/diagnostics.hpp"
+#include "fault/fault.hpp"
 
 namespace mh::dht {
 
 DistributedFunction::DistributedFunction(const mra::Function& fn,
-                                         const OwnerMap& owners)
-    : params_(fn.params()), map_(owners) {
+                                         const OwnerMap& owners,
+                                         std::size_t replication)
+    : params_(fn.params()),
+      replication_(replication < 1 ? 1 : replication),
+      map_(owners),
+      replicas_(owners.ranks()) {
   MH_CHECK(!fn.compressed(), "scatter requires reconstructed form");
   for (const mra::Key& key : fn.leaf_keys()) {
     const Tensor& coeffs = fn.leaf_coeffs(key);
     map_.put(/*from_rank=*/0, key, coeffs,
              static_cast<double>(coeffs.size()) * 8.0);
+    if (replication_ < 2) continue;
+    // Backups: the first replication-1 ranks of the key's rendezvous order
+    // that are not the primary. The write-through rides the scatter, like
+    // a replicated projector would issue it.
+    const std::size_t primary = map_.owner(key);
+    std::size_t backups = 0;
+    for (const std::size_t rank : map_.owners().replicas_of(key, ranks())) {
+      if (rank == primary) continue;
+      replicas_[rank].insert_or_assign(key, coeffs);
+      if (++backups == replication_ - 1) break;
+    }
   }
+}
+
+std::size_t DistributedFunction::rebuild_shard(std::size_t dead_rank) {
+  MH_CHECK(dead_rank < ranks(), "rank out of range");
+  if (replication_ < 2) {
+    throw fault::FaultError(
+        fault::ErrorCode::kDataLost,
+        "rebuild_shard: no replicas were kept (replication < 2)");
+  }
+  map_.drop_shard(dead_rank);
+  // The dead rank's backup copies died with it.
+  replicas_[dead_rank].clear();
+  std::size_t restored = 0;
+  for (std::size_t rank = 0; rank < ranks(); ++rank) {
+    for (const auto& [key, coeffs] : replicas_[rank]) {
+      if (map_.owner(key) != dead_rank || map_.contains(key)) continue;
+      // Survivor `rank` promotes its backup copy back to the primary home.
+      map_.put(rank, key, coeffs, static_cast<double>(coeffs.size()) * 8.0);
+      ++restored;
+    }
+  }
+  return restored;
 }
 
 std::vector<std::size_t> DistributedFunction::apply_loads(

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstddef>
+#include <unordered_map>
+#include <vector>
 
 #include "dht/distributed_map.hpp"
 #include "dht/owner_map.hpp"
@@ -24,7 +26,12 @@ class DistributedFunction {
   /// Scatter a reconstructed function's leaves over the owner map's ranks.
   /// Scattering is issued from rank 0 (the projector), so the initial
   /// distribution itself counts messages, as a real run would.
-  DistributedFunction(const mra::Function& fn, const OwnerMap& owners);
+  /// `replication` > 1 additionally writes every leaf through to the first
+  /// replication-1 backup ranks of its rendezvous order
+  /// (OwnerMap::replicas_of) that differ from the primary, so a dead rank's
+  /// shard can be rebuilt from survivors (rebuild_shard).
+  DistributedFunction(const mra::Function& fn, const OwnerMap& owners,
+                      std::size_t replication = 1);
 
   std::size_t ranks() const noexcept { return map_.ranks(); }
   const mra::FunctionParams& params() const noexcept { return params_; }
@@ -41,11 +48,24 @@ class DistributedFunction {
   /// Reassemble a single-address-space Function (gather to rank 0).
   mra::Function gather() const;
 
+  std::size_t replication() const noexcept { return replication_; }
+
+  /// Rebuild `dead_rank`'s primary shard from the replica copies the
+  /// survivors hold: the shard is dropped, then every replicated leaf the
+  /// dead rank owned is re-put from the first surviving backup. Returns
+  /// the number of leaves restored. Requires replication >= 2 — without
+  /// backups the shard is unrecoverable, a typed kDataLost fault.
+  std::size_t rebuild_shard(std::size_t dead_rank);
+
   const DistributedMap<Tensor>& map() const noexcept { return map_; }
 
  private:
+  using Shard = std::unordered_map<mra::Key, Tensor, mra::KeyHash>;
+
   mra::FunctionParams params_;
+  std::size_t replication_;
   DistributedMap<Tensor> map_;
+  std::vector<Shard> replicas_;  ///< backup copies, indexed by backup rank
 };
 
 /// Distributed Apply: each source rank computes its own leaves' tasks and

@@ -87,6 +87,16 @@ class DistributedMap {
     return shards_[rank].size();
   }
 
+  /// Drop one rank's entire shard (the rank died); returns how many
+  /// entries went with it. Recovery layers re-put the entries from replica
+  /// copies (DistributedFunction::rebuild_shard).
+  std::size_t drop_shard(std::size_t rank) {
+    MH_CHECK(rank < shards_.size(), "rank out of range");
+    const std::size_t dropped = shards_[rank].size();
+    shards_[rank].clear();
+    return dropped;
+  }
+
   /// Local view of one rank's shard (iteration for gather/inspection).
   const std::unordered_map<mra::Key, V, mra::KeyHash>& shard(
       std::size_t rank) const {

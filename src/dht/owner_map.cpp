@@ -1,6 +1,8 @@
 #include "dht/owner_map.hpp"
 
+#include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "common/diagnostics.hpp"
 #include "common/hash.hpp"
@@ -9,6 +11,36 @@ namespace mh::dht {
 
 OwnerMap::OwnerMap(std::size_t ranks) : ranks_(ranks) {
   MH_CHECK(ranks >= 1, "owner map needs at least one rank");
+}
+
+std::vector<std::size_t> rendezvous_order(std::uint64_t placement_hash,
+                                          std::size_t ranks, std::size_t r,
+                                          std::uint64_t seed) {
+  MH_CHECK(ranks >= 1, "rendezvous order needs at least one rank");
+  std::vector<std::pair<std::uint64_t, std::size_t>> scored;
+  scored.reserve(ranks);
+  for (std::size_t rank = 0; rank < ranks; ++rank) {
+    scored.emplace_back(
+        hash_combine(hash_combine(mix64(seed), mix64(rank)), placement_hash),
+        rank);
+  }
+  // Descending score; the rank index breaks (vanishingly rare) score ties
+  // so the order is total and deterministic.
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  const std::size_t n = std::min(r, ranks);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) order.push_back(scored[i].second);
+  return order;
+}
+
+std::vector<std::size_t> OwnerMap::replicas_of(const mra::Key& key,
+                                               std::size_t r) const {
+  return rendezvous_order(key.hash(), ranks_, r, /*seed=*/0);
 }
 
 HashOwnerMap::HashOwnerMap(std::size_t ranks, std::uint64_t seed)
@@ -28,6 +60,11 @@ SubtreeOwnerMap::SubtreeOwnerMap(std::size_t ranks, int subtree_level,
 std::size_t SubtreeOwnerMap::owner(const mra::Key& key) const {
   return static_cast<std::size_t>(
       hash_combine(mix64(seed_), anchor_of(key).hash()) % ranks_);
+}
+
+std::vector<std::size_t> SubtreeOwnerMap::replicas_of(const mra::Key& key,
+                                                      std::size_t r) const {
+  return rendezvous_order(anchor_of(key).hash(), ranks_, r, seed_);
 }
 
 mra::Key SubtreeOwnerMap::anchor_of(const mra::Key& key) const {

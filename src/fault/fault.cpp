@@ -88,6 +88,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kBatchTimeout: return "batch_timeout";
     case ErrorCode::kGpuRetriesExhausted: return "gpu_retries_exhausted";
     case ErrorCode::kRankDead: return "rank_dead";
+    case ErrorCode::kDataLost: return "data_lost";
   }
   return "unknown";
 }

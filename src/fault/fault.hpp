@@ -64,8 +64,9 @@ inline constexpr std::size_t kFaultSiteCount = 6;
 const char* site_name(FaultSite site) noexcept;
 
 /// Typed error codes for fault-induced failures. The first five mirror the
-/// injection sites; the last two are produced by the resilience layer when
-/// it gives up (retries exhausted, rank declared dead).
+/// injection sites; the rest are produced by the resilience layer when it
+/// gives up (retries exhausted, rank declared dead, every replica of a DHT
+/// entry lost with the ranks that held it).
 enum class ErrorCode : std::uint8_t {
   kGpuKernelFailed = 0,
   kTransferTimeout,
@@ -75,6 +76,7 @@ enum class ErrorCode : std::uint8_t {
   kBatchTimeout,         ///< a GPU batch exceeded its per-batch deadline
   kGpuRetriesExhausted,  ///< GPU batch failed every attempt, no CPU fallback
   kRankDead,             ///< remote sends to the rank failed permanently
+  kDataLost,             ///< every replica of a DHT entry is on a dead rank
 };
 const char* error_code_name(ErrorCode code) noexcept;
 

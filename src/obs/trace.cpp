@@ -97,6 +97,7 @@ const char* category_name(Category cat) noexcept {
     case Category::kPageLock: return "page-lock";
     case Category::kPostprocess: return "postprocess";
     case Category::kComm: return "comm";
+    case Category::kRecovery: return "recovery";
     case Category::kOther: return "other";
   }
   return "other";

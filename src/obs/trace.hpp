@@ -65,9 +65,10 @@ enum class Category : std::uint8_t {
   kPageLock,     ///< host page-lock/unlock calls
   kPostprocess,  ///< CPU data threads accumulating results
   kComm,         ///< inter-node / inter-rank messaging
+  kRecovery,     ///< replica promotion / checkpoint / restart after a fault
   kOther,
 };
-inline constexpr std::size_t kCategoryCount = 9;
+inline constexpr std::size_t kCategoryCount = 10;
 const char* category_name(Category cat) noexcept;
 
 /// Which clock a span's timestamps live on.

@@ -28,6 +28,9 @@ World::World(std::size_t ranks, obs::MetricsRegistry* metrics)
           "steal requests finding an empty deque")),
       m_dead_ranks_(metrics_.gauge("mh_world_dead_ranks",
                                    "ranks declared permanently dead")),
+      m_recovery_rehomed_(metrics_.counter(
+          "mh_recovery_orphans_rehomed_total",
+          "stealable items moved off dead ranks onto survivors")),
       faults_(&fault::FaultInjector::global()),
       send_rng_(SendPolicy{}.seed),
       rank_dead_(ranks, false),
@@ -159,21 +162,35 @@ void World::send(std::size_t from, std::size_t to, double bytes,
          ++attempt) {
       if (attempt >= policy.max_retries) {
         // Permanently dead: drop the handler, record the typed error for
-        // fence(), and report the rank through dead_ranks()/metrics.
-        std::scoped_lock lock(mu_);
-        if (!rank_dead_[to]) {
-          rank_dead_[to] = true;
-          double dead = 0.0;
-          for (const bool d : rank_dead_) dead += d ? 1.0 : 0.0;
-          m_dead_ranks_.set(dead);
+        // fence(), and report the rank through dead_ranks()/metrics. The
+        // death handler fires outside the lock, exactly once per rank, on
+        // this (declaring) thread — it may call back into the world.
+        bool first_transition = false;
+        std::function<void(std::size_t)> on_death;
+        {
+          std::scoped_lock lock(mu_);
+          if (!rank_dead_[to]) {
+            rank_dead_[to] = true;
+            first_transition = true;
+            on_death = death_handler_;
+            double dead = 0.0;
+            for (const bool d : rank_dead_) dead += d ? 1.0 : 0.0;
+            m_dead_ranks_.set(dead);
+          }
+          ++stats_.send_failures;
+          m_send_failures_.inc();
+          if (!first_error_) {
+            first_error_ = std::make_exception_ptr(fault::FaultError(
+                fault::ErrorCode::kRankDead,
+                "rank " + std::to_string(to) + " declared dead: send failed " +
+                    std::to_string(attempt + 1) + " time(s)"));
+          }
         }
-        ++stats_.send_failures;
-        m_send_failures_.inc();
-        if (!first_error_) {
-          first_error_ = std::make_exception_ptr(fault::FaultError(
-              fault::ErrorCode::kRankDead,
-              "rank " + std::to_string(to) + " declared dead: send failed " +
-                  std::to_string(attempt + 1) + " time(s)"));
+        if (first_transition && on_death) {
+          obs::ScopedSpan span(obs::TraceSession::current(), "rank_death",
+                               obs::Category::kRecovery,
+                               {{"rank", static_cast<double>(to)}});
+          on_death(to);
         }
         return;
       }
@@ -209,6 +226,38 @@ void World::send(std::size_t from, std::size_t to, double bytes,
     return;
   }
   enqueue(to, std::move(handler), "task", obs::Category::kCpuCompute);
+}
+
+void World::set_death_handler(std::function<void(std::size_t)> handler) {
+  std::scoped_lock lock(mu_);
+  death_handler_ = std::move(handler);
+}
+
+std::size_t World::reassign_stealable(std::size_t dead_rank) {
+  MH_CHECK(dead_rank < pools_.size(), "rank out of range");
+  obs::ScopedSpan span(obs::TraceSession::current(), "reassign_stealable",
+                       obs::Category::kRecovery,
+                       {{"rank", static_cast<double>(dead_rank)}});
+  std::size_t moved = 0;
+  {
+    std::scoped_lock lock(mu_);
+    std::vector<std::size_t> live;
+    for (std::size_t r = 0; r < pools_.size(); ++r) {
+      if (r != dead_rank && !rank_dead_[r]) live.push_back(r);
+    }
+    if (live.empty()) return 0;
+    auto& orphans = stealable_[dead_rank];
+    // Front-first round-robin keeps each survivor's share in the original
+    // (hottest-first) order, like a sequence of granted steals would.
+    for (std::size_t i = 0; !orphans.empty(); ++i) {
+      stealable_[live[i % live.size()]].push_back(
+          std::move(orphans.front()));
+      orphans.pop_front();
+      ++moved;
+    }
+  }
+  m_recovery_rehomed_.inc(static_cast<double>(moved));
+  return moved;
 }
 
 void World::stealable_push(std::size_t rank, double bytes,

@@ -107,6 +107,20 @@ class World {
   std::vector<std::size_t> dead_ranks() const;
   bool rank_alive(std::size_t rank) const;
 
+  /// Install the recovery hook: `handler(rank)` runs exactly once per rank,
+  /// on the thread that declared it dead (send retries exhausted), outside
+  /// the world's lock — it may call back into the world (reassign the dead
+  /// rank's stealable work, promote DHT replicas, re-home groups). Install
+  /// before traffic starts.
+  void set_death_handler(std::function<void(std::size_t)> handler);
+
+  /// Move every stealable item still queued on `dead_rank` onto the live
+  /// ranks, round-robin — the orphaned work a dead node leaves behind is
+  /// absorbed by the survivors' deques (and from there by the stealing
+  /// scheduler). Returns the number of items re-homed; counted in
+  /// mh_recovery_orphans_rehomed_total.
+  std::size_t reassign_stealable(std::size_t dead_rank);
+
   /// Block until every task and active message (including ones spawned
   /// transitively) has executed. Rethrows the first task error.
   void fence();
@@ -140,6 +154,7 @@ class World {
   obs::Counter& m_steal_grants_;
   obs::Counter& m_steal_denials_;
   obs::Gauge& m_dead_ranks_;
+  obs::Counter& m_recovery_rehomed_;
   /// Per-destination-rank active-message counters (label rank=<to>).
   std::vector<obs::Counter*> m_rank_messages_;
   std::vector<obs::Counter*> m_rank_bytes_;
@@ -155,6 +170,7 @@ class World {
   fault::FaultInjector* faults_;
   Rng send_rng_;
   std::vector<bool> rank_dead_;
+  std::function<void(std::size_t)> death_handler_;
   // Stealable work deques, one per rank (under mu_: the owner pops the
   // front on its thread, but any rank's steal-request handler pops the
   // back and stealable_push may run anywhere).

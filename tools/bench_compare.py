@@ -267,6 +267,11 @@ def main():
     parser.add_argument("--zero-tolerance", type=float, default=1e-6,
                         help="allowed absolute drift for near-zero "
                              "baselines (default 1e-6)")
+    parser.add_argument("--fail-on-missing-baseline", action="store_true",
+                        help="treat a current BENCH record with no baseline "
+                             "as a failure instead of skipping it — the perf "
+                             "job sets this so a new bench cannot join its "
+                             "matrix without checking in a baseline")
     parser.add_argument("--regressed-out", metavar="PATH",
                         help="write the names of benches with gated "
                              "regressions to PATH, one per line — CI uses "
@@ -313,7 +318,15 @@ def main():
               f"current records were not produced on the same "
               f"machine/compiler/env (see the 'warn' rows)")
     for bench in sorted(set(currents) - set(baselines)):
-        print(f"{bench}: new bench (no baseline) — skipped")
+        if args.fail_on_missing_baseline:
+            failures.append(f"{bench}: no baseline checked in (run it with "
+                            f"--json and commit the record to the baseline "
+                            f"directory)")
+            regressed_benches.append(bench)
+            all_rows.append((bench, "-", None, None, "no baseline", "FAIL"))
+            print(f"{bench}: new bench (no baseline) [FAIL]")
+        else:
+            print(f"{bench}: new bench (no baseline) — skipped")
 
     if all_rows:
         print("\ngated entries:")
