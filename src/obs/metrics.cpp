@@ -42,6 +42,24 @@ double HistogramSnapshot::quantile(double q) const noexcept {
   return max;
 }
 
+HistogramSnapshot merge(const HistogramSnapshot& a,
+                        const HistogramSnapshot& b) noexcept {
+  // An empty side contributes nothing; returning the other side verbatim
+  // keeps the count==0 min/max convention (0 placeholders) from polluting
+  // the real extrema.
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  HistogramSnapshot out;
+  out.count = a.count + b.count;
+  out.sum = a.sum + b.sum;
+  out.min = std::min(a.min, b.min);
+  out.max = std::max(a.max, b.max);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    out.buckets[i] = a.buckets[i] + b.buckets[i];
+  }
+  return out;
+}
+
 void Histogram::observe(double value) noexcept {
   count_.fetch_add(1, std::memory_order_relaxed);
   double cur = min_.load(std::memory_order_relaxed);

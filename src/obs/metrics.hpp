@@ -96,6 +96,14 @@ struct HistogramSnapshot {
   double p999() const noexcept { return quantile(0.999); }
 };
 
+/// Bucket-wise lossless merge: the result is indistinguishable from one
+/// histogram that observed both sample streams (count, sum, min, max, and
+/// every bucket — the shared log-bucket geometry is what makes cross-rank
+/// aggregation exact). This is the correctness bedrock of the telemetry
+/// rollup in telemetry.hpp.
+HistogramSnapshot merge(const HistogramSnapshot& a,
+                        const HistogramSnapshot& b) noexcept;
+
 /// Log-bucketed distribution; observe() is a handful of relaxed RMWs.
 class Histogram {
  public:

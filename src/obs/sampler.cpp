@@ -9,7 +9,10 @@ Sampler::Sampler(Config config)
                                            : MetricsRegistry::global()),
       period_(config.period),
       tick_counter_(registry_.counter("mh_sampler_ticks_total",
-                                      "health sampler ticks executed")) {}
+                                      "health sampler ticks executed")),
+      lag_gauge_(registry_.gauge(
+          "mh_sampler_tick_lag_seconds",
+          "how far the latest periodic tick ran behind its deadline")) {}
 
 Sampler::~Sampler() { stop(); }
 
@@ -70,11 +73,28 @@ std::uint64_t Sampler::ticks() const {
 }
 
 void Sampler::run() {
+  // Absolute deadlines, not relative waits: wait_for(period) would restart
+  // the full period after every tick, so probe time accumulates as drift —
+  // a probe taking half a period makes the sampler run at 2/3 rate forever.
+  // Each tick's deadline is the previous one plus the period, so probe time
+  // eats into the idle wait instead of stretching the schedule.
+  using Clock = std::chrono::steady_clock;
   std::unique_lock lock(mu_);
+  auto next = Clock::now() + period_;
   for (;;) {
-    cv_.wait_for(lock, period_, [this] { return stop_; });
+    cv_.wait_until(lock, next, [this] { return stop_; });
     if (stop_) return;
+    lag_gauge_.set(
+        std::chrono::duration<double>(Clock::now() - next).count());
     tick();
+    next += period_;
+    const auto now = Clock::now();
+    if (next <= now) {
+      // Overrun: a probe ate whole periods. Skip the missed deadlines
+      // forward rather than firing a catch-up burst of back-to-back ticks
+      // — the lag gauge is where the overrun stays visible.
+      next += period_ * ((now - next) / period_ + 1);
+    }
   }
 }
 

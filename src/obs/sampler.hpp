@@ -29,6 +29,7 @@
 namespace mh::obs {
 
 class Counter;
+class Gauge;
 class MetricsRegistry;
 
 class Sampler {
@@ -72,6 +73,7 @@ class Sampler {
   MetricsRegistry& registry_;
   const std::chrono::milliseconds period_;
   Counter& tick_counter_;
+  Gauge& lag_gauge_;  ///< mh_sampler_tick_lag_seconds
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -839,6 +839,32 @@ TEST(Sampler, StopRunsOneFinalProbePass) {
   EXPECT_EQ(runs.load(), 1);
 }
 
+TEST(Sampler, SlowProbeDoesNotStretchTheSchedule) {
+  // Regression: the loop used to wait_for(period) *after* each tick, so a
+  // probe taking P milliseconds turned a T-period schedule into T+P — the
+  // sampler drifted further behind with every tick. Deadline-based
+  // wait_until absorbs probe time into the idle wait instead: a probe
+  // using ~75% of the period must not cost ~43% of the ticks.
+  MetricsRegistry reg;
+  const auto period = std::chrono::milliseconds(40);
+  Sampler sampler({period, &reg});
+  sampler.add_probe(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(30)); });
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  sampler.stop();
+  // Ideal: 30 periodic ticks (+1 final flush). The drifting loop would
+  // manage only ~17. Bounds are generous for noisy CI machines but far
+  // above what drift could ever produce.
+  EXPECT_GE(sampler.ticks(), 22u);
+  EXPECT_LE(sampler.ticks(), 33u);  // no catch-up bursts either
+  // The lag gauge is exported and sane: a tick fires at-or-after its
+  // deadline, never before.
+  const double lag = reg.gauge("mh_sampler_tick_lag_seconds").value();
+  EXPECT_GE(lag, 0.0);
+  EXPECT_LT(lag, 1.0);
+}
+
 // ---------------------------------------------------------------------------
 // Ring-buffer (flight recorder) trace sessions
 

@@ -19,8 +19,16 @@ Usage:
 import argparse
 import glob
 import json
+import math
 import os
 import sys
+
+
+def finite(v):
+    """True for real finite numbers. bool is excluded (a True that leaked
+    into a value field is a malformed record, not a measurement)."""
+    return (isinstance(v, (int, float)) and not isinstance(v, bool)
+            and math.isfinite(v))
 
 
 def load_records(directory):
@@ -145,6 +153,16 @@ def compare(bench, base, cur, threshold, zero_epsilon, zero_tolerance):
             failures.append(f"{bench}: {key} has a null value")
             rows.append((bench, key, base_val, cur_val, "null", "FAIL"))
             continue
+        if not finite(base_val) or not finite(cur_val):
+            # NaN compares false against every threshold, so without this
+            # check a gated NaN would sail through as "ok" — the exact
+            # opposite of what a NaN measurement means. Hard failure.
+            failures.append(
+                f"{bench}: {key} has a non-finite value "
+                f"({fmt_value(base_val)} -> {fmt_value(cur_val)})"
+            )
+            rows.append((bench, key, base_val, cur_val, "non-finite", "FAIL"))
+            continue
         if abs(base_val) <= zero_epsilon:
             # Near-zero baseline: ratios explode on jitter, so gate on the
             # absolute delta instead.
@@ -190,9 +208,10 @@ def fmt_value(v):
     """Table cell for a numeric entry value or a provenance string."""
     if v is None:
         return "-"
-    if isinstance(v, str):
-        return v if len(v) <= 40 else v[:37] + "..."
-    return f"{v:.6g}"
+    if isinstance(v, (int, float)) and not isinstance(v, bool):
+        return f"{v:.6g}"
+    s = v if isinstance(v, str) else repr(v)
+    return s if len(s) <= 40 else s[:37] + "..."
 
 
 def print_table(rows):
