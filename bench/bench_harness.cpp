@@ -287,6 +287,10 @@ int Harness::finish() {
     write_number(os, r.stats.p50);
     os << ", \"p95\": ";
     write_number(os, r.stats.p95);
+    os << ", \"p99\": ";
+    write_number(os, r.stats.p99);
+    os << ", \"p999\": ";
+    write_number(os, r.stats.p999);
     os << ", \"cov\": ";
     write_number(os, r.stats.cov);
     os << "}";

@@ -20,6 +20,7 @@ bool is_per_rank(AlertRule::Kind kind) {
     case AlertRule::Kind::kRankDead:
     case AlertRule::Kind::kSendRetryStorm:
     case AlertRule::Kind::kBreakerOpen:
+    case AlertRule::Kind::kSloBurn:
       return true;
     case AlertRule::Kind::kReplicationLow:
     case AlertRule::Kind::kStealThrash:
@@ -39,6 +40,7 @@ const char* alert_span_name(AlertRule::Kind kind) {
     case AlertRule::Kind::kReplicationLow: return "alert:replication_low";
     case AlertRule::Kind::kBreakerOpen: return "alert:breaker_open";
     case AlertRule::Kind::kStealThrash: return "alert:steal_thrash";
+    case AlertRule::Kind::kSloBurn: return "alert:slo_burn";
   }
   return "alert";
 }
@@ -134,7 +136,10 @@ bool HealthMonitor::condition(const AlertRule& rule,
       *value = stats.min;
       return *value < rule.threshold;
     }
-    case AlertRule::Kind::kBreakerOpen: {
+    case AlertRule::Kind::kBreakerOpen:
+    case AlertRule::Kind::kSloBurn: {
+      // Same shape: a per-rank (per-tenant, for SLO burn) gauge lane at or
+      // above the threshold.
       const TelemetryAggregator::Instrument* inst = agg.find(rule.instrument);
       if (inst == nullptr || rank >= inst->seen.size() || !inst->seen[rank]) {
         return false;

@@ -33,17 +33,20 @@
 #include <utility>
 #include <vector>
 
+#include "common/stats.hpp"
+
 namespace mh::obs {
 
-// --- log-bucketed histogram geometry ---------------------------------------
-// Bucket i covers values with binary exponent i-31: bucket index is
-// frexp(v)'s exponent clamped into [0, 63], so ~1.0 lands mid-array and the
-// range spans 2^-31 .. 2^32. Shared by Histogram and TraceSession::hist.
-inline constexpr std::size_t kHistogramBuckets = 64;
-
-std::size_t log_bucket_index(double value) noexcept;
-/// Upper bound of bucket i (inclusive): 2^(i-31).
-double log_bucket_upper(std::size_t index) noexcept;
+// The log-bucketed histogram geometry (bucket index = frexp exponent + 31,
+// range 2^-31 .. 2^32) lives in common/stats.hpp so benches and the serving
+// layer can summarize open-loop latency streams without this registry; the
+// names are re-exported here because every obs consumer spells them
+// obs::HistogramSnapshot / obs::merge.
+using mh::kHistogramBuckets;
+using mh::log_bucket_index;
+using mh::log_bucket_upper;
+using mh::HistogramSnapshot;
+using mh::merge;
 
 /// Relaxed add for atomic<double> (fetch_add on double is C++20-optional).
 inline void atomic_add(std::atomic<double>& a, double delta) noexcept {
@@ -79,30 +82,6 @@ class Gauge {
   Gauge() = default;
   std::atomic<double> v_{0.0};
 };
-
-struct HistogramSnapshot {
-  std::uint64_t count = 0;
-  double sum = 0.0;
-  double min = 0.0;  ///< meaningless while count == 0
-  double max = 0.0;
-  std::array<std::uint64_t, kHistogramBuckets> buckets{};
-
-  /// Quantile estimate by linear interpolation inside the log bucket the
-  /// rank lands in, clamped to [min, max] (the bucket bounds are powers of
-  /// two, so the clamp tightens the estimate at the extremes). q outside
-  /// [0, 1] is clamped; returns 0 while count == 0.
-  double quantile(double q) const noexcept;
-  /// The serving-SLO tail estimate the exporters publish.
-  double p999() const noexcept { return quantile(0.999); }
-};
-
-/// Bucket-wise lossless merge: the result is indistinguishable from one
-/// histogram that observed both sample streams (count, sum, min, max, and
-/// every bucket — the shared log-bucket geometry is what makes cross-rank
-/// aggregation exact). This is the correctness bedrock of the telemetry
-/// rollup in telemetry.hpp.
-HistogramSnapshot merge(const HistogramSnapshot& a,
-                        const HistogramSnapshot& b) noexcept;
 
 /// Log-bucketed distribution; observe() is a handful of relaxed RMWs.
 class Histogram {

@@ -163,7 +163,7 @@ TEST(SampleSummary, DerivesMedianP95AndCov) {
   EXPECT_DOUBLE_EQ(s.max, 100.0);
   EXPECT_NEAR(s.cov, s.stddev / s.mean, 1e-15);
 
-  const SampleSummary empty = summarize({});
+  const SampleSummary empty = summarize(std::vector<double>{});
   EXPECT_EQ(empty.count, 0u);
   EXPECT_TRUE(std::isnan(empty.min));
   EXPECT_TRUE(std::isnan(empty.p50));

@@ -26,6 +26,7 @@
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_reader.hpp"
+#include "serve/serve.hpp"
 #include "world/world.hpp"
 
 namespace mh::obs {
@@ -323,6 +324,71 @@ TEST(Health, HysteresisDebouncesFireAndResolve) {
   ASSERT_EQ(monitor.history().size(), 2u);
   EXPECT_EQ(monitor.history()[0].state, AlertState::kFiring);
   EXPECT_EQ(monitor.history()[1].state, AlertState::kResolved);
+}
+
+// ---------------------------------------------------------------------------
+// SLO burn (the serving plane's rule; tenant index is the lane "rank")
+
+TEST(Health, SloBurnRuleFiresAndResolvesWithHysteresis) {
+  // serve_rules(): mh_serve_slo_burn >= 0.5, 2 ticks to fire, 3 clean
+  // ticks to resolve.
+  HealthMonitor monitor({serve::serve_rules(), nullptr, nullptr, 256});
+  TelemetryAggregator agg({4, 128});
+  ScenarioTelemetry tel(4);
+
+  const auto tick = [&](double t, double burn_b) {
+    tel.gauge(1, "mh_serve_slo_burn", burn_b);
+    for (const std::size_t lane : {0u, 2u, 3u}) {
+      tel.gauge(lane, "mh_serve_slo_burn", 0.0);
+    }
+    for (const auto& d : tel.collect(t)) agg.ingest(d);
+    agg.commit(t);
+    return monitor.evaluate(agg, t);
+  };
+
+  // One bad tick is pending, not firing (a single window with a miss burst
+  // must not page).
+  EXPECT_TRUE(tick(1.0, 0.9).empty());
+  // The second consecutive bad tick fires, on the burning tenant's lane.
+  auto events = tick(2.0, 0.9);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].state, AlertState::kFiring);
+  EXPECT_EQ(events[0].rule, "slo_burn");
+  EXPECT_EQ(events[0].rank, 1u);
+  // Exactly at threshold still counts as burning (>=).
+  EXPECT_TRUE(tick(3.0, 0.5).empty());
+  // Two clean ticks are not enough to resolve (resolve_ticks = 3)...
+  EXPECT_TRUE(tick(4.0, 0.0).empty());
+  EXPECT_TRUE(tick(5.0, 0.0).empty());
+  // ...the third is.
+  events = tick(6.0, 0.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].state, AlertState::kResolved);
+  EXPECT_TRUE(monitor.active().empty());
+}
+
+TEST(Health, SloBurnRuleScopesToTheBurningTenant) {
+  // Tenant lanes are independent alerts: one tenant burning its SLO
+  // budget must not page the others.
+  HealthMonitor monitor({serve::serve_rules(), nullptr, nullptr, 256});
+  TelemetryAggregator agg({4, 128});
+  ScenarioTelemetry tel(4);
+
+  for (int t = 1; t <= 3; ++t) {
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      tel.gauge(lane, "mh_serve_slo_burn", lane == 2 ? 1.0 : 0.1);
+    }
+    for (const auto& d : tel.collect(t)) agg.ingest(d);
+    agg.commit(t);
+    monitor.evaluate(agg, t);
+  }
+  const auto active = monitor.active();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].rule, "slo_burn");
+  EXPECT_EQ(active[0].rank, 2u);
+  EXPECT_EQ(active[0].state, AlertState::kFiring);
+  ASSERT_EQ(monitor.history().size(), 1u);
+  EXPECT_EQ(monitor.history()[0].rank, 2u);
 }
 
 // ---------------------------------------------------------------------------
